@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_fig*.py`` module regenerates one table/figure of the paper's
+evaluation (§V).  The heavy sweep behind Figs. 4/5/6 is computed once per
+session and shared; each benchmark then times one representative run and
+asserts the figure's qualitative shape.
+"""
+
+import pytest
+
+from repro.experiments import run_fig4
+from repro.traces import SyntheticAzureTrace
+
+
+@pytest.fixture(scope="session")
+def trace():
+    """The calibrated synthetic Azure trace (shared across benchmarks)."""
+    return SyntheticAzureTrace()
+
+
+@pytest.fixture(scope="session")
+def grid(trace):
+    """Policies × working-sets sweep at paper scale (Figs. 4a/4b/4c, 5, 6)."""
+    return run_fig4(trace=trace)

@@ -1,0 +1,53 @@
+"""Ablation: batch-size sensitivity (the paper fixes batch = 32).
+
+Each model's inference latency follows its profiled linear batch
+regression (§IV-A), so sweeping the batch size exposes the latency /
+image-throughput trade-off behind the paper's fixed choice.
+"""
+
+import pytest
+
+from repro.experiments.ablations import run_batch_size_sweep
+
+BATCHES = (8, 16, 32, 64)
+
+
+@pytest.fixture(scope="module")
+def sweep(trace):
+    return run_batch_size_sweep(BATCHES, working_set=15, trace=trace)
+
+
+def test_batch_size_ablation(benchmark, trace, sweep):
+    partial = benchmark.pedantic(
+        lambda: run_batch_size_sweep((32,), working_set=15, trace=trace),
+        rounds=1,
+        iterations=1,
+    )
+    assert 32 in partial
+
+    print()
+    for batch, s in sorted(sweep.items()):
+        images_per_s = s.completed_requests * batch / s.horizon_s
+        print(
+            f"  batch={batch:2d} latency={s.avg_latency_s:6.3f}s "
+            f"miss={s.cache_miss_ratio:.4f} images/s={images_per_s:7.1f}"
+        )
+
+    # larger batches cost more per request ...
+    latencies = [sweep[b].avg_latency_s for b in BATCHES]
+    assert latencies == sorted(latencies)
+    # ... but deliver more images per second
+    throughput = [
+        sweep[b].completed_requests * b / sweep[b].horizon_s for b in BATCHES
+    ]
+    assert throughput == sorted(throughput)
+
+
+def test_miss_ratio_insensitive_to_batch_size(sweep):
+    """Caching depends on model identity, not batch size."""
+    ratios = [sweep[b].cache_miss_ratio for b in BATCHES]
+    assert max(ratios) - min(ratios) < 0.05
+
+
+def test_all_batches_complete(sweep):
+    assert all(s.completed_requests == 1950 for s in sweep.values())

@@ -1,0 +1,32 @@
+"""Ablation: LRU vs. the offline-optimal (Belady) replacement bound.
+
+The paper uses LRU (§III-D) and argues any replacement policy fits its
+Cache Manager (§VI).  Belady's clairvoyant policy — evict the model whose
+next request is farthest in the future — bounds what *any* online policy
+could achieve; the gap to LRU quantifies how much the paper's choice
+leaves on the table at the hardest operating point (working set 35).
+"""
+
+from repro.experiments import run_belady_bound
+
+
+def test_belady_bound(benchmark, trace):
+    out = benchmark.pedantic(
+        lambda: run_belady_bound(working_set=35, trace=trace), rounds=1, iterations=1
+    )
+    lru, belady = out["lru"], out["belady"]
+
+    print()
+    print(f"  lru    miss={lru.cache_miss_ratio:.4f} latency={lru.avg_latency_s:.3f}s")
+    print(f"  belady miss={belady.cache_miss_ratio:.4f} latency={belady.avg_latency_s:.3f}s")
+
+    # the clairvoyant bound cannot lose (tiny tolerance for tie-breaks
+    # interacting with the scheduler's placement decisions)
+    assert belady.cache_miss_ratio <= lru.cache_miss_ratio + 0.02
+    assert lru.completed_requests == belady.completed_requests == 1950
+
+
+def test_lru_is_close_to_optimal_at_small_working_set(trace):
+    """At WS 15 the cache covers the working set: LRU ~ Belady."""
+    out = run_belady_bound(working_set=15, trace=trace)
+    assert abs(out["lru"].cache_miss_ratio - out["belady"].cache_miss_ratio) < 0.05

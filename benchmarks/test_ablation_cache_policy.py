@@ -1,0 +1,61 @@
+"""Ablation: cache-replacement policy under LALBO3 (paper §VI).
+
+The paper's Cache Manager uses LRU but its design supports any sorted-list
+policy.  This bench swaps in FIFO, LFU, and size-aware replacement at the
+paper's hardest operating point (working set 35) and checks that the
+locality-aware scheduler keeps its advantage regardless of the policy —
+§VI's claim that "regardless of what policy is used, our proposed
+locality-aware scheduling can always improve its performance".
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment
+
+POLICIES = ("lru", "fifo", "lfu", "size")
+
+
+@pytest.fixture(scope="module")
+def sweeps(trace):
+    base = ExperimentConfig(policy="lalbo3", working_set=35)
+    out = {}
+    for rp in POLICIES:
+        out[rp] = run_experiment(replace(base, replacement=rp), trace=trace)
+    out["lb-lru"] = run_experiment(
+        ExperimentConfig(policy="lb", working_set=35), trace=trace
+    )
+    return out
+
+
+def test_cache_policy_ablation(benchmark, trace, sweeps):
+    summary = benchmark.pedantic(
+        lambda: run_experiment(
+            ExperimentConfig(policy="lalbo3", working_set=35, replacement="fifo"),
+            trace=trace,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert summary.completed_requests == 1950
+
+    print()
+    for rp in POLICIES:
+        s = sweeps[rp]
+        print(f"  replacement={rp:5s} latency={s.avg_latency_s:.3f}s miss={s.cache_miss_ratio:.4f}")
+
+    # locality-aware scheduling beats the LB baseline under EVERY policy
+    lb = sweeps["lb-lru"]
+    for rp in POLICIES:
+        assert sweeps[rp].avg_latency_s < lb.avg_latency_s / 5, rp
+
+
+def test_lru_is_competitive(sweeps):
+    """LRU (the paper's choice) should be at or near the best latency."""
+    best = min(sweeps[rp].avg_latency_s for rp in POLICIES)
+    assert sweeps["lru"].avg_latency_s <= best * 1.25
+
+
+def test_all_policies_complete_the_workload(sweeps):
+    assert all(sweeps[rp].completed_requests == 1950 for rp in POLICIES)

@@ -1,0 +1,57 @@
+"""Ablation: cluster size scaling (4 → 16 GPUs).
+
+Not a paper figure, but DESIGN.md's scalability check on §VI's claims: the
+distributed GPU Managers and per-GPU LRU lists should let the system use
+added GPUs productively — latency must fall monotonically as the testbed
+grows under the fixed 325 requests/minute load.
+"""
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.experiments import ExperimentConfig, run_experiment
+
+SIZES = ((1, 4), (2, 4), (3, 4), (4, 4))  # (nodes, gpus/node) → 4..16 GPUs
+
+
+@pytest.fixture(scope="module")
+def sweep(trace):
+    out = {}
+    for nodes, per in SIZES:
+        cfg = ExperimentConfig(
+            policy="lalbo3",
+            working_set=25,
+            cluster=ClusterSpec.homogeneous(nodes, per),
+        )
+        out[nodes * per] = run_experiment(cfg, trace=trace)
+    return out
+
+
+def test_gpu_scaling_ablation(benchmark, trace, sweep):
+    summary = benchmark.pedantic(
+        lambda: run_experiment(
+            ExperimentConfig(
+                policy="lalbo3", working_set=25, cluster=ClusterSpec.homogeneous(2, 4)
+            ),
+            trace=trace,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert summary.completed_requests == 1950
+
+    print()
+    for gpus, s in sorted(sweep.items()):
+        print(f"  gpus={gpus:2d} latency={s.avg_latency_s:8.3f}s miss={s.cache_miss_ratio:.4f}")
+
+    latencies = [sweep[g].avg_latency_s for g in sorted(sweep)]
+    assert latencies == sorted(latencies, reverse=True)  # more GPUs → faster
+
+
+def test_small_cluster_is_saturated(sweep):
+    """4 GPUs cannot absorb 325 req/min of ~1.3 s inferences."""
+    assert sweep[4].avg_latency_s > sweep[16].avg_latency_s * 3
+
+
+def test_every_size_completes(sweep):
+    assert all(s.completed_requests == 1950 for s in sweep.values())

@@ -1,0 +1,69 @@
+"""Ablation: heterogeneous GPUs (paper §VI).
+
+"Our solutions can inherently support the use of heterogeneous GPUs ...
+It just needs to run the same profiling procedure on each unique type of
+GPUs and use the profiled model loading and inference times in the
+proposed scheduling algorithm."  We replace one node's RTX 2080s with a
+faster type (bigger memory, quicker PCIe, 2.5x faster inference) and check
+the scheduler exploits it.
+"""
+
+import pytest
+
+from repro.cluster import ClusterSpec, GPUTypeSpec, PCIeModel
+from repro.experiments import ExperimentConfig, run_experiment
+
+FAST = GPUTypeSpec(
+    name="a100",
+    memory_mb=40_000.0,
+    pcie=PCIeModel(bandwidth_mb_s=6456.0, fixed_overhead_s=0.8),
+    speed_factor=0.4,
+)
+BASE = GPUTypeSpec()
+
+HOMOGENEOUS = ClusterSpec.homogeneous(3, 4)
+MIXED = ClusterSpec(nodes=((4, BASE), (4, BASE), (4, FAST)))
+
+
+@pytest.fixture(scope="module")
+def results(trace):
+    cfg = ExperimentConfig(policy="lalbo3", working_set=35)
+    from dataclasses import replace
+
+    return {
+        "homogeneous": run_experiment(replace(cfg, cluster=HOMOGENEOUS), trace=trace),
+        "mixed": run_experiment(replace(cfg, cluster=MIXED), trace=trace),
+    }
+
+
+def test_heterogeneous_ablation(benchmark, trace, results):
+    from dataclasses import replace
+
+    cfg = replace(ExperimentConfig(policy="lalbo3", working_set=35), cluster=MIXED)
+    summary = benchmark.pedantic(
+        lambda: run_experiment(cfg, trace=trace), rounds=1, iterations=1
+    )
+    assert summary.completed_requests == 1950
+
+    print()
+    for name, s in results.items():
+        print(f"  {name:12s} latency={s.avg_latency_s:.3f}s miss={s.cache_miss_ratio:.4f}")
+
+    # swapping a node to faster, larger GPUs must help end-to-end latency
+    assert results["mixed"].avg_latency_s < results["homogeneous"].avg_latency_s
+
+
+def test_heterogeneous_reduces_miss_ratio(results):
+    """The 40 GB node caches far more models → fewer capacity misses."""
+    assert results["mixed"].cache_miss_ratio < results["homogeneous"].cache_miss_ratio
+
+
+def test_profiles_exist_per_type(trace):
+    """The registry must carry per-type profiles for the mixed cluster."""
+    from repro.models import ProfileRegistry
+
+    reg = ProfileRegistry.from_table1([FAST])
+    base = reg.get("vgg19", "rtx2080")
+    fast = reg.get("vgg19", "a100")
+    assert fast.infer_time_s < base.infer_time_s
+    assert fast.load_time_s < base.load_time_s

@@ -1,0 +1,60 @@
+"""Ablation: why locality must be balanced against load (paper §I).
+
+§I's motivation: "favoring locality may increase the average latency of
+requests because all the requests are forwarded to the GPU that has the
+model cached while the others are left idle. ... load-balancing may
+increase cache misses."  This bench runs the pure-locality strawman
+against LB and LALB to quantify both failure modes: locality-only gets a
+superb hit ratio but queues everything behind few GPUs; LB spreads load
+but thrashes the cache; LALB beats both on latency.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment
+
+POLICIES = ("lb", "locality", "lalb")
+
+
+@pytest.fixture(scope="module")
+def results(trace):
+    return {
+        policy: run_experiment(
+            ExperimentConfig(policy=policy, working_set=15), trace=trace
+        )
+        for policy in POLICIES
+    }
+
+
+def test_locality_only_ablation(benchmark, trace, results):
+    summary = benchmark.pedantic(
+        lambda: run_experiment(
+            ExperimentConfig(policy="locality", working_set=15), trace=trace
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert summary.completed_requests == 1950
+
+    print()
+    for policy in POLICIES:
+        s = results[policy]
+        print(
+            f"  {policy:9s} latency={s.avg_latency_s:8.3f}s "
+            f"miss={s.cache_miss_ratio:.4f} sm={s.sm_utilization:.3f}"
+        )
+
+    # pure locality achieves the best hit ratio ...
+    assert results["locality"].cache_miss_ratio <= results["lalb"].cache_miss_ratio + 1e-9
+    assert results["locality"].cache_miss_ratio < results["lb"].cache_miss_ratio
+    # ... but LALB's balance beats it on latency (§I's whole argument)
+    assert results["lalb"].avg_latency_s < results["locality"].avg_latency_s
+
+
+def test_locality_only_underuses_the_cluster(results):
+    """Requests pile up behind caching GPUs while others sit idle."""
+    assert results["locality"].avg_queueing_s > results["lalb"].avg_queueing_s
+
+
+def test_all_policies_complete(results):
+    assert all(s.completed_requests == 1950 for s in results.values())

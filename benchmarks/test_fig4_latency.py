@@ -1,0 +1,45 @@
+"""Figure 4a: average function latency, LB vs LALB vs LALBO3.
+
+Paper shape: LALB reduces LB's average latency by 97.74% (WS 15), 93.33%
+(WS 25), and ~79% (WS 35); LALBO3 matches or beats LALB everywhere and
+wins outright at the larger working sets.
+"""
+
+from repro.experiments import ExperimentConfig, format_fig4, run_experiment
+
+
+def test_fig4a_regenerate(benchmark, trace, grid):
+    """Time one full experiment run (LALBO3, WS 35) and assert the figure."""
+    summary = benchmark.pedantic(
+        lambda: run_experiment(
+            ExperimentConfig(policy="lalbo3", working_set=35), trace=trace
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert summary.completed_requests == 1950
+
+    print()
+    print(format_fig4(grid))
+
+    for ws in (15, 25, 35):
+        lb = grid[("lb", ws)].avg_latency_s
+        lalb = grid[("lalb", ws)].avg_latency_s
+        lalbo3 = grid[("lalbo3", ws)].avg_latency_s
+        # locality-aware schedulers win by >10x everywhere
+        assert lalb < lb / 10
+        assert lalbo3 <= lalb + 1e-9
+    # paper: the reduction is strongest at the small working set
+    red15 = 1 - grid[("lalb", 15)].avg_latency_s / grid[("lb", 15)].avg_latency_s
+    assert red15 > 0.90
+
+
+def test_fig4a_lb_baseline_run(benchmark, trace):
+    """Time the LB baseline at WS 15 (the paper's worst-performing cell)."""
+    summary = benchmark.pedantic(
+        lambda: run_experiment(ExperimentConfig(policy="lb", working_set=15), trace=trace),
+        rounds=1,
+        iterations=1,
+    )
+    assert summary.completed_requests == 1950
+    assert summary.avg_latency_s > 10  # LB saturates the 12-GPU testbed

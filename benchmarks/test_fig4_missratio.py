@@ -1,0 +1,44 @@
+"""Figure 4b: cache miss ratio across schedulers and working sets.
+
+Paper shape: LALB cuts LB's miss ratio by 94.11% at WS 15 but only 65.21%
+at WS 35 (locality gets harder as the working set outgrows GPU memory);
+LALBO3 pushes the WS-35 reduction to 81.15%.
+"""
+
+from repro.experiments import ExperimentConfig, run_experiment
+
+
+def test_fig4b_regenerate(benchmark, trace, grid):
+    summary = benchmark.pedantic(
+        lambda: run_experiment(
+            ExperimentConfig(policy="lalb", working_set=15), trace=trace
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert summary.cache_miss_ratio < 0.1
+
+    rows = [
+        (policy, ws, grid[(policy, ws)].cache_miss_ratio)
+        for policy in ("lb", "lalb", "lalbo3")
+        for ws in (15, 25, 35)
+    ]
+    print()
+    for policy, ws, miss in rows:
+        print(f"  {policy:7s} ws={ws:2d} miss_ratio={miss:.4f}")
+
+    # strong reduction at WS 15
+    red15 = 1 - grid[("lalb", 15)].cache_miss_ratio / grid[("lb", 15)].cache_miss_ratio
+    assert red15 > 0.85
+    # degraded (but still real) reduction at WS 35
+    red35 = 1 - grid[("lalb", 35)].cache_miss_ratio / grid[("lb", 35)].cache_miss_ratio
+    assert 0.3 < red35 < red15
+    # O3 dispatch recovers part of the loss at WS 35
+    assert grid[("lalbo3", 35)].cache_miss_ratio < grid[("lalb", 35)].cache_miss_ratio
+
+
+def test_fig4b_miss_ratio_monotone_in_working_set(grid):
+    """For every scheduler, more unique models → more misses."""
+    for policy in ("lb", "lalb", "lalbo3"):
+        m = [grid[(policy, ws)].cache_miss_ratio for ws in (15, 25, 35)]
+        assert m[0] <= m[1] <= m[2] + 1e-9

@@ -1,0 +1,44 @@
+"""Figure 4c: GPU (SM) utilization.
+
+Paper shape: LALBO3 has the highest SM utilization (lowest miss ratio →
+least time stalled on PCIe uploads); utilization is consistent across
+working sets because the request rate is pinned at 325/minute; 100% is
+unreachable.
+"""
+
+import numpy as np
+
+from repro.experiments import ExperimentConfig, run_experiment
+
+
+def test_fig4c_regenerate(benchmark, trace, grid):
+    summary = benchmark.pedantic(
+        lambda: run_experiment(
+            ExperimentConfig(policy="lalbo3", working_set=25), trace=trace
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert 0.0 < summary.sm_utilization < 1.0
+
+    for ws in (15, 25, 35):
+        assert grid[("lalbo3", ws)].sm_utilization > grid[("lb", ws)].sm_utilization
+        assert grid[("lalbo3", ws)].sm_utilization >= grid[("lalb", ws)].sm_utilization - 0.01
+
+
+def test_fig4c_utilization_anticorrelates_with_missratio(grid):
+    """§V-C: 'The SM utilization negatively correlates with the cache miss
+    ratio because a GPU cannot use the SM ... until the model is uploaded'."""
+    miss = [s.cache_miss_ratio for s in grid.values()]
+    util = [s.sm_utilization for s in grid.values()]
+    assert np.corrcoef(miss, util)[0, 1] < -0.5
+
+
+def test_fig4c_stable_across_working_sets(grid):
+    for policy in ("lb", "lalb", "lalbo3"):
+        utils = [grid[(policy, ws)].sm_utilization for ws in (15, 25, 35)]
+        assert max(utils) - min(utils) < 0.1
+
+
+def test_fig4c_hundred_percent_unreachable(grid):
+    assert all(s.sm_utilization < 0.95 for s in grid.values())

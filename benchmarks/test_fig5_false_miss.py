@@ -1,0 +1,42 @@
+"""Figure 5: false miss ratio.
+
+Paper shape: the default LB scheduler has by far the worst false-miss ratio
+(up to ~96% of its misses re-load a model resident elsewhere); LALB and
+LALBO3 cut it sharply at WS 15/25, and at WS 35 only LALBO3 retains a
+clear edge.
+"""
+
+from repro.experiments import ExperimentConfig, false_per_miss, format_fig5, run_experiment
+
+
+def test_fig5_regenerate(benchmark, trace, grid):
+    summary = benchmark.pedantic(
+        lambda: run_experiment(ExperimentConfig(policy="lb", working_set=25), trace=trace),
+        rounds=1,
+        iterations=1,
+    )
+    assert summary.false_miss_ratio > 0
+
+    print()
+    print(format_fig5(grid))
+
+    for ws in (15, 25, 35):
+        lb = grid[("lb", ws)]
+        assert grid[("lalb", ws)].false_miss_ratio < lb.false_miss_ratio
+        assert grid[("lalbo3", ws)].false_miss_ratio < lb.false_miss_ratio
+
+
+def test_fig5_lb_misses_are_mostly_false(grid):
+    """Most LB misses target models that sit on another GPU."""
+    assert false_per_miss(grid[("lb", 15)]) > 0.6
+
+
+def test_fig5_locality_schedulers_also_reduce_false_share(grid):
+    """Not just fewer misses — a smaller *share* of them is false."""
+    for ws in (15, 25, 35):
+        assert false_per_miss(grid[("lalb", ws)]) < false_per_miss(grid[("lb", ws)])
+
+
+def test_fig5_false_miss_never_exceeds_miss(grid):
+    for s in grid.values():
+        assert s.false_miss_ratio <= s.cache_miss_ratio + 1e-12

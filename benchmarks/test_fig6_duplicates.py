@@ -1,0 +1,44 @@
+"""Figure 6: average number of duplicates of the top-1 model.
+
+Paper shape: LB thrashes — duplicated copies of the hottest model keep
+evicting each other, so it holds the most duplicates; LALB cuts the
+average by ~49% at WS 15; the count can never exceed the 12 GPUs.
+"""
+
+from repro.experiments import ExperimentConfig, format_fig6, run_experiment
+
+
+def test_fig6_regenerate(benchmark, trace, grid):
+    summary = benchmark.pedantic(
+        lambda: run_experiment(ExperimentConfig(policy="lalb", working_set=25), trace=trace),
+        rounds=1,
+        iterations=1,
+    )
+    assert summary.avg_duplicates_top_model > 0
+
+    print()
+    print(format_fig6(grid))
+
+    for ws in (15, 25, 35):
+        lb = grid[("lb", ws)].avg_duplicates_top_model
+        assert grid[("lalb", ws)].avg_duplicates_top_model < lb
+        assert grid[("lalbo3", ws)].avg_duplicates_top_model < lb
+
+
+def test_fig6_bounded_by_gpu_count(grid):
+    """'As the GPU-enabled FaaS uses 12 GPUs, the highest number of
+    duplicates of the same model cannot exceed 12' (§V-D)."""
+    assert all(s.avg_duplicates_top_model <= 12.0 for s in grid.values())
+
+
+def test_fig6_lalb_reduction_band_ws15(grid):
+    """Paper: 48.96% reduction at WS 15; accept >30%."""
+    lb = grid[("lb", 15)].avg_duplicates_top_model
+    lalb = grid[("lalb", 15)].avg_duplicates_top_model
+    assert (lb - lalb) / lb > 0.30
+
+
+def test_fig6_hot_model_is_replicated_under_locality(grid):
+    """The design intentionally replicates popular models over multiple
+    GPUs (§IV), so even LALB keeps several copies of the top-1 model."""
+    assert grid[("lalb", 15)].avg_duplicates_top_model > 1.5

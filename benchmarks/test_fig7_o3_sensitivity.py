@@ -1,0 +1,46 @@
+"""Figure 7: sensitivity to the out-of-order dispatch limit (WS 35).
+
+Paper shape: raising the limit from 0 to 45 reduces the average latency,
+the cache miss ratio, *and* (counter-intuitively) the latency variance —
+the extra cache hits outweigh the unfairness of skipping (§V-E).
+"""
+
+import pytest
+
+from repro.experiments import PAPER_O3_LIMITS, format_fig7, run_fig7
+
+
+@pytest.fixture(scope="module")
+def sweep(trace):
+    return run_fig7(limits=PAPER_O3_LIMITS, trace=trace)
+
+
+def test_fig7_regenerate(benchmark, trace, sweep):
+    partial = benchmark.pedantic(
+        lambda: run_fig7(limits=(0, 45), trace=trace), rounds=1, iterations=1
+    )
+    assert set(partial) == {0, 45}
+
+    print()
+    print(format_fig7(sweep))
+
+    assert sweep[45].avg_latency_s < sweep[0].avg_latency_s
+    assert sweep[45].cache_miss_ratio < sweep[0].cache_miss_ratio
+
+
+def test_fig7_variance_shrinks_with_larger_limit(sweep):
+    """§V-E: 'the O3 limit value of 45 also reduces, instead of increasing,
+    the variance of the average latency of the limit value of 0'."""
+    assert sweep[45].latency_variance < sweep[0].latency_variance
+
+
+def test_fig7_no_limit_beats_limit_zero_everywhere(sweep):
+    """Every non-zero limit should do at least as well as limit 0."""
+    base = sweep[0]
+    for limit in PAPER_O3_LIMITS[1:]:
+        assert sweep[limit].avg_latency_s <= base.avg_latency_s + 1e-9
+        assert sweep[limit].cache_miss_ratio <= base.cache_miss_ratio + 1e-9
+
+
+def test_fig7_limit_zero_is_lalb(sweep, grid):
+    assert sweep[0].avg_latency_s == pytest.approx(grid[("lalb", 35)].avg_latency_s)

@@ -1,0 +1,109 @@
+"""Scheduler overhead: the §VI scalability data structures.
+
+§VI: "the Scheduler maintains an auxiliary data structure that links the
+queued requests to their corresponding models ... the complexity of this
+search is bounded by the number of models cached on the GPU", and "the
+Cache Manager maintains the lists of GPUs where each model is cached".
+
+These benches measure both index lookups directly and show they stay flat
+as the queue grows, unlike a linear scan.
+"""
+
+import time
+
+import pytest
+
+from repro.core.queues import GlobalQueue
+from repro.core.request import InferenceRequest
+from repro.models import ModelInstance, get_profile
+
+
+def _filled_queue(n_requests: int, n_models: int = 50):
+    q = GlobalQueue()
+    instances = [ModelInstance(f"m{i}", get_profile("alexnet")) for i in range(n_models)]
+    for i in range(n_requests):
+        q.push(
+            InferenceRequest(
+                f"fn{i % n_models}", instances[i % n_models], arrival_time=float(i)
+            )
+        )
+    return q, instances
+
+
+def test_model_index_lookup(benchmark):
+    """first_for_model on a 10k-deep queue — the §VI auxiliary index."""
+    q, instances = _filled_queue(10_000)
+    target = instances[37].instance_id
+    result = benchmark(q.first_for_model, target)
+    assert result is not None
+    assert result.model_id == target
+
+
+def test_model_index_is_queue_length_independent():
+    """Index lookups must not degrade with queue depth (amortized O(1))."""
+
+    def measure(n):
+        q, instances = _filled_queue(n)
+        target = instances[0].instance_id
+        t0 = time.perf_counter()
+        for _ in range(2000):
+            q.first_for_model(target)
+        return time.perf_counter() - t0
+
+    small = measure(100)
+    large = measure(20_000)
+    # allow generous noise but reject linear scaling (200x size ratio)
+    assert large < small * 20
+
+
+def test_linear_scan_for_comparison(benchmark):
+    """The naive scan the index replaces (documented cost baseline)."""
+    q, instances = _filled_queue(10_000)
+    target = instances[37].instance_id
+
+    def scan():
+        for request in q:
+            if request.model_id == target:
+                return request
+        return None
+
+    result = benchmark(scan)
+    assert result is not None
+
+
+def test_cache_locations_index(benchmark):
+    """Cache Manager's model→GPUs index lookup (bounded by #copies)."""
+    from repro.cluster import ClusterSpec, build_cluster
+    from repro.core.cache_manager import CacheManager
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    cluster = build_cluster(sim, ClusterSpec.homogeneous(4, 4))
+    cache = CacheManager(sim, cluster.gpus)
+    hot = ModelInstance("hot", get_profile("resnet50"))
+    for gpu in cluster.gpus[:8]:
+        gpu.admit("hot", hot.occupied_mb).mark_ready(0.0)
+        cache.on_loaded(gpu.gpu_id, hot)
+    locations = benchmark(cache.locations, "hot")
+    assert len(locations) == 8
+
+
+def test_scheduling_pass_cost_at_depth(benchmark):
+    """One full LALBO3 pass with a deep global queue and busy GPUs."""
+    from repro.cluster import ClusterSpec
+    from repro.runtime import FaaSCluster, SystemConfig
+
+    system = FaaSCluster(SystemConfig(cluster=ClusterSpec.homogeneous(3, 4)))
+    instances = [ModelInstance(f"m{i}", get_profile("alexnet")) for i in range(30)]
+    for gpu in system.cluster.gpus:
+        gpu.begin_inference()  # everything busy → pure queueing cost
+    for i in range(2_000):
+        system.scheduler.global_queue.push(
+            InferenceRequest(f"fn{i % 30}", instances[i % 30], arrival_time=float(i))
+        )
+
+    def one_pass():
+        return system.scheduler.policy.schedule_pass(system.scheduler)
+
+    progress = benchmark(one_pass)
+    assert progress is False  # no idle GPU → no action, but the pass ran

@@ -1,0 +1,53 @@
+"""SLA study: locality-aware scheduling and latency deadlines (§I).
+
+The paper motivates GPU FaaS with production inference's "stringent latency
+requirements" (e.g. real-time search suggestions).  This bench attaches a
+per-request SLA to the paper workload and measures how many deadlines each
+scheduler blows: the LB baseline saturates and misses nearly everything,
+while LALB/LALBO3 keep violations rare.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment
+
+SLA_S = 10.0  # generous: ~2x a cold load + inference
+
+
+@pytest.fixture(scope="module")
+def results(trace):
+    return {
+        policy: run_experiment(
+            ExperimentConfig(policy=policy, working_set=25, sla_s=SLA_S), trace=trace
+        )
+        for policy in ("lb", "lalb", "lalbo3")
+    }
+
+
+def test_sla_violations(benchmark, trace, results):
+    summary = benchmark.pedantic(
+        lambda: run_experiment(
+            ExperimentConfig(policy="lalbo3", working_set=25, sla_s=SLA_S), trace=trace
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert summary.completed_requests == 1950
+
+    print()
+    for policy, s in results.items():
+        print(f"  {policy:7s} violations={s.sla_violation_ratio:7.2%} "
+              f"avg_latency={s.avg_latency_s:7.3f}s")
+
+    # LB saturates → the vast majority of requests blow the deadline
+    assert results["lb"].sla_violation_ratio > 0.5
+    # locality-aware scheduling keeps violations rare
+    assert results["lalb"].sla_violation_ratio < 0.05
+    assert results["lalbo3"].sla_violation_ratio <= results["lalb"].sla_violation_ratio + 1e-9
+
+
+def test_no_sla_means_no_violations(trace):
+    s = run_experiment(
+        ExperimentConfig(policy="lb", working_set=15, minutes=1), trace=trace
+    )
+    assert s.sla_violation_ratio == 0.0

@@ -1,0 +1,23 @@
+"""Simulated GPU cluster substrate: devices, nodes, PCIe, GPU processes."""
+
+from .gpu import GPUDevice, GPUMemoryError, GPUState
+from .node import GPUNode
+from .pcie import PCIeModel, fit_pcie_model
+from .process import GPUProcess, ProcessState
+from .topology import PAPER_TESTBED, Cluster, ClusterSpec, GPUTypeSpec, build_cluster
+
+__all__ = [
+    "GPUDevice",
+    "GPUMemoryError",
+    "GPUState",
+    "GPUNode",
+    "PCIeModel",
+    "fit_pcie_model",
+    "GPUProcess",
+    "ProcessState",
+    "PAPER_TESTBED",
+    "Cluster",
+    "ClusterSpec",
+    "GPUTypeSpec",
+    "build_cluster",
+]

@@ -1,0 +1,219 @@
+"""GPU device model: memory residency, busy/idle state, SM accounting.
+
+A :class:`GPUDevice` is the mechanical substrate under the paper's GPU
+Manager.  It tracks exactly the state the scheduler and Cache Manager need:
+
+* which model instances are resident (and how much memory they hold),
+* whether the GPU is idle, uploading a model (PCIe busy, SM idle) or
+  executing inference (SM busy) — the paper's GPU Managers enforce one
+  request at a time per GPU (§III-C),
+* cumulative time per state, from which §V-C's SM utilization is computed.
+
+The device itself never makes policy decisions; eviction and dispatch
+belong to the Cache Manager and Scheduler.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+from ..sim import IntervalAccumulator, Simulator
+from .pcie import PCIeModel
+from .process import GPUProcess, ProcessState
+
+__all__ = ["GPUState", "GPUDevice", "GPUMemoryError"]
+
+
+class GPUMemoryError(RuntimeError):
+    """Raised when a reservation would exceed device memory (OOM guard)."""
+
+
+class GPUState(enum.Enum):
+    IDLE = "idle"
+    LOADING = "load"     # uploading a model over PCIe; SM idle
+    INFERRING = "infer"  # executing a batch; SM busy
+    OFFLINE = "offline"  # failed / drained; unschedulable
+
+
+class GPUDevice:
+    """One physical GPU.
+
+    Parameters
+    ----------
+    gpu_id:
+        Cluster-unique identifier, e.g. ``"node0/cuda:1"``.
+    memory_mb:
+        Usable device memory.  Default 7800 MB models an RTX 2080 (8 GB)
+        minus driver/context reserve, matching the paper's testbed where
+        2–5 of the Table I models fit per GPU.
+    gpu_type:
+        Profile key for heterogeneous clusters (§VI): devices of the same
+        type share model load/inference profiles.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        gpu_id: str,
+        *,
+        memory_mb: float = 7800.0,
+        gpu_type: str = "rtx2080",
+        node_id: str = "node0",
+        pcie: PCIeModel | None = None,
+    ) -> None:
+        if memory_mb <= 0:
+            raise ValueError("memory_mb must be positive")
+        self.sim = sim
+        self.gpu_id = gpu_id
+        self.node_id = node_id
+        self.gpu_type = gpu_type
+        self.memory_mb = float(memory_mb)
+        self.pcie = pcie or PCIeModel()
+        self.state = GPUState.IDLE
+        self._processes: dict[str, GPUProcess] = {}  # model_instance -> process
+        self._used_mb = 0.0
+        self._intervals = IntervalAccumulator(sim)
+        self._intervals.start(GPUState.IDLE.value)
+        self.completed_requests = 0  # use-frequency for Alg. 1's idle-GPU ordering
+
+    # ------------------------------------------------------------------
+    # Memory & residency
+    # ------------------------------------------------------------------
+    @property
+    def used_mb(self) -> float:
+        return self._used_mb
+
+    @property
+    def free_mb(self) -> float:
+        return self.memory_mb - self._used_mb
+
+    def resident_models(self) -> list[str]:
+        """Model instances currently occupying device memory."""
+        return list(self._processes)
+
+    def has_model(self, model_instance: str) -> bool:
+        return model_instance in self._processes
+
+    def process_for(self, model_instance: str) -> GPUProcess:
+        return self._processes[model_instance]
+
+    def admit(self, model_instance: str, occupied_mb: float) -> GPUProcess:
+        """Reserve memory and register a new (STARTING) GPU process.
+
+        Raises :class:`GPUMemoryError` if the model does not fit — callers
+        (the Cache Manager) must evict victims first; the device never
+        silently oversubscribes, mirroring the OOM-avoidance guarantee.
+        """
+        if model_instance in self._processes:
+            raise ValueError(f"{model_instance} already resident on {self.gpu_id}")
+        if occupied_mb > self.memory_mb:
+            raise GPUMemoryError(
+                f"{model_instance} ({occupied_mb} MB) can never fit on "
+                f"{self.gpu_id} ({self.memory_mb} MB)"
+            )
+        if occupied_mb > self.free_mb + 1e-9:
+            raise GPUMemoryError(
+                f"{model_instance} needs {occupied_mb} MB but {self.gpu_id} "
+                f"has only {self.free_mb:.0f} MB free"
+            )
+        proc = GPUProcess(
+            model_instance=model_instance,
+            occupied_mb=float(occupied_mb),
+            gpu_id=self.gpu_id,
+            started_at=self.sim.now,
+        )
+        self._processes[model_instance] = proc
+        self._used_mb += occupied_mb
+        return proc
+
+    def evict(self, model_instance: str, *, force: bool = False) -> GPUProcess:
+        """Kill the process hosting ``model_instance`` and release its memory.
+
+        ``force=True`` allows killing a RUNNING process — only failure
+        handling does this (the in-flight request is re-queued elsewhere).
+        """
+        proc = self._processes.pop(model_instance, None)
+        if proc is None:
+            raise KeyError(f"{model_instance} is not resident on {self.gpu_id}")
+        if proc.state is ProcessState.RUNNING and not force:
+            self._processes[model_instance] = proc
+            raise RuntimeError(
+                f"cannot evict {model_instance} on {self.gpu_id}: inference in flight"
+            )
+        proc.kill(self.sim.now)
+        self._used_mb -= proc.occupied_mb
+        if self._used_mb < 1e-9:
+            self._used_mb = 0.0
+        return proc
+
+    def evict_many(self, model_instances: Iterable[str]) -> list[GPUProcess]:
+        return [self.evict(m) for m in model_instances]
+
+    # ------------------------------------------------------------------
+    # Busy / idle state machine
+    # ------------------------------------------------------------------
+    @property
+    def is_idle(self) -> bool:
+        return self.state is GPUState.IDLE
+
+    @property
+    def is_busy(self) -> bool:
+        return self.state is not GPUState.IDLE
+
+    def begin_loading(self) -> None:
+        self._transition(GPUState.IDLE, GPUState.LOADING)
+
+    def begin_inference(self) -> None:
+        if self.state is GPUState.INFERRING:
+            raise RuntimeError(f"{self.gpu_id} already inferring")
+        self._set_state(GPUState.INFERRING)
+
+    def become_idle(self) -> None:
+        if self.state is GPUState.OFFLINE:
+            raise RuntimeError(f"{self.gpu_id} is offline; bring it online first")
+        self._set_state(GPUState.IDLE)
+
+    @property
+    def is_online(self) -> bool:
+        return self.state is not GPUState.OFFLINE
+
+    def go_offline(self) -> None:
+        """Fail or drain the GPU (allowed from any state)."""
+        self._set_state(GPUState.OFFLINE)
+
+    def come_online(self) -> None:
+        if self.state is not GPUState.OFFLINE:
+            raise RuntimeError(f"{self.gpu_id} is not offline")
+        self._set_state(GPUState.IDLE)
+
+    def _transition(self, expected: GPUState, to: GPUState) -> None:
+        if self.state is not expected:
+            raise RuntimeError(f"{self.gpu_id}: expected {expected}, was {self.state}")
+        self._set_state(to)
+
+    def _set_state(self, to: GPUState) -> None:
+        self._intervals.switch(to.value)
+        self.state = to
+
+    # ------------------------------------------------------------------
+    # SM-utilization accounting (paper §V-C)
+    # ------------------------------------------------------------------
+    def time_in(self, state: GPUState) -> float:
+        return self._intervals.total(state.value)
+
+    def sm_utilization(self, horizon: float | None = None) -> float:
+        """Fraction of elapsed time the SMs were executing inference.
+
+        Loading time counts *against* utilization — "the SM utilization
+        remains zero until the victim model becomes evicted and the new
+        model is uploaded" (§V-C).
+        """
+        return self._intervals.fraction(GPUState.INFERRING.value, horizon)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<GPUDevice {self.gpu_id} {self.state.value} "
+            f"{self._used_mb:.0f}/{self.memory_mb:.0f} MB "
+            f"models={sorted(self._processes)}>"
+        )

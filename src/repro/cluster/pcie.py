@@ -1,0 +1,72 @@
+"""PCI-Express transfer-time model.
+
+The paper (§II-B) identifies host↔GPU data transfer over PCIe as the main
+overhead of running short-lived inference functions on GPUs.  Table I
+publishes measured model-loading times; fitting ``load = a + size / bw`` to
+those rows gives an effective bandwidth of ~1.6 GB/s and a fixed overhead of
+~1.6 s (process start + CUDA context + allocator warm-up).  Those fitted
+values are the defaults here, so models *not* in Table I (custom
+architectures, heterogeneous GPUs) still get realistic loading times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PCIeModel", "fit_pcie_model"]
+
+
+@dataclass(frozen=True)
+class PCIeModel:
+    """Affine transfer-time model: ``time = fixed_overhead_s + mb / bandwidth_mb_s``.
+
+    Parameters
+    ----------
+    bandwidth_mb_s:
+        Effective host→device copy bandwidth in MB/s.  Effective bandwidth
+        is well below the PCIe link peak because model loading interleaves
+        deserialization, allocation, and many small copies.
+    fixed_overhead_s:
+        Per-load constant cost: spawning the GPU process, creating the CUDA
+        context, and initializing the framework runtime.
+    """
+
+    bandwidth_mb_s: float = 1614.0
+    fixed_overhead_s: float = 1.62
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_mb_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.fixed_overhead_s < 0:
+            raise ValueError("fixed overhead cannot be negative")
+
+    def transfer_time(self, size_mb: float) -> float:
+        """Seconds to move ``size_mb`` megabytes host→device (one load)."""
+        if size_mb < 0:
+            raise ValueError("size_mb cannot be negative")
+        return self.fixed_overhead_s + size_mb / self.bandwidth_mb_s
+
+    def scaled(self, factor: float) -> "PCIeModel":
+        """A link ``factor`` times faster (e.g. PCIe gen bump); overhead unchanged."""
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return PCIeModel(self.bandwidth_mb_s * factor, self.fixed_overhead_s)
+
+
+def fit_pcie_model(sizes_mb: list[float], load_times_s: list[float]) -> PCIeModel:
+    """Least-squares fit of the affine model to measured (size, load-time) pairs.
+
+    Used by the profiler (paper §IV-A / §VI "Heterogeneity of GPUs") to derive
+    a transfer model for each unique GPU type from a handful of profiled
+    models.
+    """
+    import numpy as np
+
+    x = np.asarray(sizes_mb, dtype=float)
+    y = np.asarray(load_times_s, dtype=float)
+    if x.size != y.size or x.size < 2:
+        raise ValueError("need at least two (size, time) pairs")
+    slope, intercept = np.polyfit(x, y, 1)
+    if slope <= 0:
+        raise ValueError("measured load times do not increase with size")
+    return PCIeModel(bandwidth_mb_s=1.0 / slope, fixed_overhead_s=max(0.0, float(intercept)))

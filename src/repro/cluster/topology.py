@@ -1,0 +1,99 @@
+"""Cluster construction helpers, including heterogeneous layouts (§VI)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim import Simulator
+from .gpu import GPUDevice
+from .node import GPUNode
+from .pcie import PCIeModel
+
+__all__ = ["GPUTypeSpec", "ClusterSpec", "Cluster", "build_cluster", "PAPER_TESTBED"]
+
+
+@dataclass(frozen=True)
+class GPUTypeSpec:
+    """Hardware characteristics of one GPU model.
+
+    ``speed_factor`` scales inference times relative to the profiled
+    baseline type (``<1`` is faster); the profiler consumes it when deriving
+    per-type model profiles, exactly as §VI prescribes re-profiling on each
+    unique GPU type.
+    """
+
+    name: str = "rtx2080"
+    memory_mb: float = 7800.0
+    pcie: PCIeModel = field(default_factory=PCIeModel)
+    speed_factor: float = 1.0
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Topology: ``nodes[i]`` gives (number of GPUs, GPU type) for node ``i``."""
+
+    nodes: tuple[tuple[int, GPUTypeSpec], ...]
+
+    @staticmethod
+    def homogeneous(num_nodes: int, gpus_per_node: int, gpu_type: GPUTypeSpec | None = None) -> "ClusterSpec":
+        t = gpu_type or GPUTypeSpec()
+        return ClusterSpec(tuple((gpus_per_node, t) for _ in range(num_nodes)))
+
+    @property
+    def total_gpus(self) -> int:
+        return sum(n for n, _ in self.nodes)
+
+
+#: The paper's testbed: 3 servers x 4 GeForce RTX 2080 (§V-A.3).
+PAPER_TESTBED = ClusterSpec.homogeneous(3, 4)
+
+
+class Cluster:
+    """A set of GPU nodes plus flat views over their devices."""
+
+    def __init__(self, sim: Simulator, nodes: list[GPUNode]) -> None:
+        self.sim = sim
+        self.nodes = nodes
+        self.gpus: list[GPUDevice] = [g for node in nodes for g in node.gpus]
+        self._by_id = {g.gpu_id: g for g in self.gpus}
+        if len(self._by_id) != len(self.gpus):
+            raise ValueError("duplicate GPU ids in cluster")
+        self._node_of = {g.gpu_id: node for node in nodes for g in node.gpus}
+
+    def gpu(self, gpu_id: str) -> GPUDevice:
+        return self._by_id[gpu_id]
+
+    def node_of(self, gpu_id: str) -> GPUNode:
+        return self._node_of[gpu_id]
+
+    def idle_gpus(self) -> list[GPUDevice]:
+        return [g for g in self.gpus if g.is_idle]
+
+    def busy_gpus(self) -> list[GPUDevice]:
+        return [g for g in self.gpus if g.is_busy]
+
+    def gpu_types(self) -> set[str]:
+        return {g.gpu_type for g in self.gpus}
+
+    def __len__(self) -> int:
+        return len(self.gpus)
+
+    def __iter__(self):
+        return iter(self.gpus)
+
+
+def build_cluster(sim: Simulator, spec: ClusterSpec = PAPER_TESTBED) -> Cluster:
+    """Instantiate the nodes and devices described by ``spec``."""
+    nodes = []
+    for i, (num_gpus, t) in enumerate(spec.nodes):
+        nodes.append(
+            GPUNode(
+                sim,
+                f"node{i}",
+                num_gpus=num_gpus,
+                memory_mb=t.memory_mb,
+                gpu_type=t.name,
+                pcie=t.pcie,
+            )
+        )
+    return Cluster(sim, nodes)

@@ -1,0 +1,145 @@
+"""The global Cache Manager (paper §III-D).
+
+Treats the models uploaded to each GPU's memory as cache items:
+
+* keeps one replacement-policy list per GPU (LRU by default) — the per-GPU
+  separation is what keeps the global manager scalable (§VI),
+* answers hit/miss lookups for the GPU Managers,
+* chooses eviction victims on a miss, given the GPU's free space and the
+  missing model's occupation size,
+* maintains the model → [GPUs caching it] index the Scheduler uses
+  (§VI: "the Cache Manager maintains the lists of GPUs where each model is
+  cached, and shares this information with the Scheduler through the
+  Datastore"),
+* mirrors each GPU's LRU list and every model's locations into the
+  Datastore.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from ..cluster.gpu import GPUDevice
+from ..datastore.client import DatastoreClient
+from ..models.profiles import ModelInstance
+from ..sim import Simulator
+from .replacement import EvictionPolicy, LRUPolicy
+
+__all__ = ["CacheManager", "CacheEvent"]
+
+
+class CacheEvent(Protocol):  # pragma: no cover - typing helper
+    """Observer signature: ``fn(kind, gpu_id, model_id, now)``.
+
+    ``kind`` is one of ``"load"``, ``"evict"``, ``"use"``.
+    """
+
+    def __call__(self, kind: str, gpu_id: str, model_id: str, now: float) -> None: ...
+
+
+class CacheManager:
+    """Global manager of the models cached across all GPU memories."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        gpus: list[GPUDevice],
+        *,
+        datastore: DatastoreClient | None = None,
+        policy_factory: Callable[[], EvictionPolicy] = LRUPolicy,
+    ) -> None:
+        self.sim = sim
+        self._gpus = {g.gpu_id: g for g in gpus}
+        self._policies: dict[str, EvictionPolicy] = {
+            g.gpu_id: policy_factory() for g in gpus
+        }
+        self._locations: dict[str, set[str]] = {}  # model_id -> gpu_ids
+        self._datastore = datastore
+        self._observers: list[CacheEvent] = []
+
+    # ------------------------------------------------------------------
+    # Lookups (used by GPU Managers and the Scheduler)
+    # ------------------------------------------------------------------
+    def is_cached_on(self, model_id: str, gpu_id: str) -> bool:
+        return gpu_id in self._locations.get(model_id, ())
+
+    def locations(self, model_id: str) -> list[str]:
+        """GPUs where ``model_id`` is resident, sorted for determinism."""
+        return sorted(self._locations.get(model_id, ()))
+
+    def duplicates(self, model_id: str) -> int:
+        """Number of GPUs simultaneously caching ``model_id`` (Fig. 6 metric)."""
+        return len(self._locations.get(model_id, ()))
+
+    def cached_anywhere(self, model_id: str) -> bool:
+        return bool(self._locations.get(model_id))
+
+    def lru_list(self, gpu_id: str) -> list[str]:
+        """Eviction order of ``gpu_id`` (coldest first)."""
+        return self._policies[gpu_id].eviction_order()
+
+    # ------------------------------------------------------------------
+    # Victim selection (§III-D)
+    # ------------------------------------------------------------------
+    def choose_victims(
+        self, gpu_id: str, instance: ModelInstance, pinned: list[str] | None = None
+    ) -> list[str]:
+        """Victims that must be evicted from ``gpu_id`` to fit ``instance``.
+
+        Mirrors the paper's protocol: the GPU Manager sends the GPU's
+        available memory and the missing model's ID; the Cache Manager
+        answers with victims chosen from that GPU's LRU list.
+        """
+        gpu = self._gpus[gpu_id]
+        return self._policies[gpu_id].choose_victims(
+            instance.occupied_mb, gpu.free_mb, pinned or []
+        )
+
+    # ------------------------------------------------------------------
+    # State transitions (driven by GPU Managers)
+    # ------------------------------------------------------------------
+    def on_loaded(self, gpu_id: str, instance: ModelInstance) -> None:
+        """A model finished uploading to ``gpu_id``."""
+        self._policies[gpu_id].on_insert(instance.instance_id, instance.occupied_mb, self.sim.now)
+        self._locations.setdefault(instance.instance_id, set()).add(gpu_id)
+        self._publish(gpu_id, instance.instance_id)
+        self._emit("load", gpu_id, instance.instance_id)
+
+    def on_evicted(self, gpu_id: str, model_id: str) -> None:
+        """A model's process was killed and its memory released."""
+        self._policies[gpu_id].on_evict(model_id)
+        locs = self._locations.get(model_id)
+        if locs:
+            locs.discard(gpu_id)
+            if not locs:
+                del self._locations[model_id]
+        self._publish(gpu_id, model_id)
+        self._emit("evict", gpu_id, model_id)
+
+    def on_used(self, gpu_id: str, model_id: str) -> None:
+        """An inference on ``gpu_id`` reused the cached model (LRU touch)."""
+        self._policies[gpu_id].on_access(model_id, self.sim.now)
+        self._publish(gpu_id, model_id)
+        self._emit("use", gpu_id, model_id)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def subscribe(self, fn: CacheEvent) -> None:
+        """Register a cache-event observer (the metrics collector)."""
+        self._observers.append(fn)
+
+    def _emit(self, kind: str, gpu_id: str, model_id: str) -> None:
+        for fn in self._observers:
+            fn(kind, gpu_id, model_id, self.sim.now)
+
+    def _publish(self, gpu_id: str, model_id: str) -> None:
+        """Mirror LRU list and locations into the Datastore (§III-E)."""
+        if self._datastore is None:
+            return
+        self._datastore.put(f"gpu/lru/{gpu_id}", self._policies[gpu_id].eviction_order())
+        locs = self.locations(model_id)
+        if locs:
+            self._datastore.put(f"cache/locations/{model_id}", locs)
+        else:
+            self._datastore.delete(f"cache/locations/{model_id}")

@@ -1,0 +1,89 @@
+"""Finish-time estimation (paper §III-C, §IV-A).
+
+Each GPU Manager "estimates the GPU's finish time of its queued requests".
+The LALB scheduler compares, for a request whose model is cached on a busy
+GPU, the time it would *wait* there (current request plus local queue)
+against the model *loading* time on an idle GPU (Alg. 2 lines 10–11).
+
+Estimates come from the profiled per-model load/inference latencies
+(Table I or the profiler) — the estimator never peeks at simulator
+internals beyond what a real deployment would know.
+"""
+
+from __future__ import annotations
+
+from ..cluster.gpu import GPUDevice
+from ..models.profiler import ProfileRegistry
+from ..sim import Simulator
+from .queues import LocalQueues
+from .request import InferenceRequest
+
+__all__ = ["FinishTimeEstimator"]
+
+
+class FinishTimeEstimator:
+    """Estimates GPU finish times from profiles and queue state."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        registry: ProfileRegistry,
+        local_queues: LocalQueues,
+    ) -> None:
+        self.sim = sim
+        self.registry = registry
+        self.local_queues = local_queues
+        #: absolute time at which each GPU finishes its in-flight request;
+        #: maintained by the GPU Managers on every dispatch/completion.
+        self._busy_until: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Maintained by GPU Managers
+    # ------------------------------------------------------------------
+    def set_busy_until(self, gpu_id: str, t: float) -> None:
+        self._busy_until[gpu_id] = t
+
+    def clear_busy(self, gpu_id: str) -> None:
+        self._busy_until.pop(gpu_id, None)
+
+    def busy_until(self, gpu_id: str) -> float:
+        return self._busy_until.get(gpu_id, self.sim.now)
+
+    # ------------------------------------------------------------------
+    # Queries (used by the LALB policy)
+    # ------------------------------------------------------------------
+    def infer_time(self, request: InferenceRequest, gpu: GPUDevice) -> float:
+        """Profiled inference latency of ``request`` on ``gpu``'s type."""
+        profile = self.registry.get(request.model.architecture, gpu.gpu_type)
+        return profile.infer_time(request.batch_size)
+
+    def load_time(self, request: InferenceRequest, gpu: GPUDevice) -> float:
+        """Profiled model-upload latency of ``request`` on ``gpu``'s type."""
+        return self.registry.get(request.model.architecture, gpu.gpu_type).load_time_s
+
+    def estimated_finish_time(self, gpu: GPUDevice) -> float:
+        """Absolute time when ``gpu`` would finish everything already bound
+        to it: the in-flight request plus its local queue.
+
+        Local-queue requests were bound there *because* their model is
+        cached (Alg. 2), so they are costed as cache hits.
+        """
+        t = max(self.busy_until(gpu.gpu_id), self.sim.now)
+        for req in self.local_queues.requests(gpu.gpu_id):
+            t += self.infer_time(req, gpu)
+        return t
+
+    def wait_time(self, gpu: GPUDevice) -> float:
+        """Seconds until ``gpu`` could start a newly bound request."""
+        return self.estimated_finish_time(gpu) - self.sim.now
+
+    def hit_on_busy_beats_miss_on_idle(
+        self, request: InferenceRequest, busy_gpu: GPUDevice, idle_gpu: GPUDevice
+    ) -> bool:
+        """Alg. 2 line 11: does waiting for the cached copy cost less than
+        uploading the model to the idle GPU?
+
+        Inference time is paid either way, so the comparison reduces to
+        wait-time on the busy GPU vs. load-time on the idle one.
+        """
+        return self.wait_time(busy_gpu) < self.load_time(request, idle_gpu)

@@ -1,0 +1,216 @@
+"""GPU Managers (paper §III-C).
+
+One GPU Manager runs per GPU node and manages the GPU processes on that
+node.  For each dispatched request it:
+
+1. asks the Cache Manager whether the model is resident (hit) or not (miss),
+2. on a miss, evicts the victim models the Cache Manager selects (killing
+   their processes), starts a new GPU process, and uploads the model,
+3. runs the inference (one request at a time per GPU),
+4. reports the latency to the Datastore, updates the LRU list through the
+   Cache Manager, flips the GPU's status busy↔idle in the Datastore, and
+   notifies the Scheduler when the GPU becomes idle.
+
+Execution is event-driven: upload and inference durations come from the
+profiled model latencies and elapse on the simulated clock.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..cluster.gpu import GPUDevice, GPUState
+from ..cluster.node import GPUNode
+from ..cluster.process import GPUProcess
+from ..datastore.client import DatastoreClient
+from ..models.profiler import ProfileRegistry
+from ..sim import Simulator
+from .cache_manager import CacheManager
+from .estimator import FinishTimeEstimator
+from .request import InferenceRequest, RequestState
+
+__all__ = ["GPUManager"]
+
+
+class GPUManager:
+    """Per-node manager of GPU processes and request execution."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: GPUNode,
+        cache: CacheManager,
+        registry: ProfileRegistry,
+        estimator: FinishTimeEstimator,
+        *,
+        datastore: DatastoreClient | None = None,
+        on_idle: Callable[[GPUDevice], None] | None = None,
+        on_complete: Callable[[InferenceRequest], None] | None = None,
+        on_dispatch: Callable[[InferenceRequest], None] | None = None,
+    ) -> None:
+        self.sim = sim
+        self.node = node
+        self.cache = cache
+        self.registry = registry
+        self.estimator = estimator
+        self.datastore = datastore
+        self.on_idle = on_idle or (lambda gpu: None)
+        self.on_complete = on_complete or (lambda req: None)
+        self.on_dispatch = on_dispatch or (lambda req: None)
+        self._executing: dict[str, InferenceRequest] = {}  # gpu_id -> in-flight request
+        self._pending_event: dict[str, object] = {}  # gpu_id -> scheduled sim Event
+        for gpu in node.gpus:
+            self._set_status(gpu, "idle")
+
+    # ------------------------------------------------------------------
+    # Dispatch entry point (called by the Scheduler)
+    # ------------------------------------------------------------------
+    def execute(self, request: InferenceRequest, gpu: GPUDevice) -> None:
+        """Run ``request`` on ``gpu`` (which must be idle and local)."""
+        if gpu.node_id != self.node.node_id:
+            raise ValueError(f"{gpu.gpu_id} is not managed by node {self.node.node_id}")
+        if not gpu.is_idle:
+            raise RuntimeError(f"{gpu.gpu_id} is busy; the Scheduler must dispatch to idle GPUs")
+        if gpu.gpu_id in self._executing:
+            raise RuntimeError(f"{gpu.gpu_id} already has an in-flight request")
+
+        request.state = RequestState.DISPATCHED
+        request.gpu_id = gpu.gpu_id
+        request.dispatched_at = self.sim.now
+        self._executing[gpu.gpu_id] = request
+        self._set_status(gpu, "busy")
+
+        if self.cache.is_cached_on(request.model_id, gpu.gpu_id):
+            request.cache_hit = True
+            self.on_dispatch(request)
+            proc = gpu.process_for(request.model_id)
+            self._start_inference(gpu, proc, request)
+        else:
+            request.cache_hit = False
+            # §V-D "false miss": the model was resident on another GPU at
+            # decision time, yet this dispatch re-uploads it here.
+            request.false_miss = self.cache.cached_anywhere(request.model_id)
+            self.on_dispatch(request)
+            self._start_miss(gpu, request)
+
+    # ------------------------------------------------------------------
+    # Miss path: evict victims, start a process, upload the model
+    # ------------------------------------------------------------------
+    def _start_miss(self, gpu: GPUDevice, request: InferenceRequest) -> None:
+        victims = self.cache.choose_victims(gpu.gpu_id, request.model)
+        for victim in victims:
+            gpu.evict(victim)
+            self.cache.on_evicted(gpu.gpu_id, victim)
+        proc = gpu.admit(request.model_id, request.model.occupied_mb)
+        gpu.begin_loading()
+        load_t = self.estimator.load_time(request, gpu)
+        infer_t = self.estimator.infer_time(request, gpu)
+        self._publish_busy_until(gpu, self.sim.now + load_t + infer_t)
+        self._pending_event[gpu.gpu_id] = self.sim.schedule(
+            load_t, self._loaded, gpu, proc, request
+        )
+
+    def _loaded(self, gpu: GPUDevice, proc: GPUProcess, request: InferenceRequest) -> None:
+        proc.mark_ready(self.sim.now)
+        self.cache.on_loaded(gpu.gpu_id, request.model)
+        self._start_inference(gpu, proc, request)
+
+    # ------------------------------------------------------------------
+    # Hit path / common inference execution
+    # ------------------------------------------------------------------
+    def _start_inference(self, gpu: GPUDevice, proc: GPUProcess, request: InferenceRequest) -> None:
+        proc.mark_running()
+        gpu.begin_inference()
+        request.exec_start_at = self.sim.now
+        infer_t = self.estimator.infer_time(request, gpu)
+        self._publish_busy_until(gpu, self.sim.now + infer_t)
+        self._pending_event[gpu.gpu_id] = self.sim.schedule(
+            infer_t, self._finished, gpu, proc, request
+        )
+
+    def _finished(self, gpu: GPUDevice, proc: GPUProcess, request: InferenceRequest) -> None:
+        proc.mark_done()
+        gpu.become_idle()
+        gpu.completed_requests += 1
+        request.state = RequestState.COMPLETED
+        request.completed_at = self.sim.now
+        # If the model instance carries a real NumPy network (examples do),
+        # actually run the forward pass so the response is genuine.
+        network = request.model.metadata.get("network")
+        if request.payload is not None and network is not None:
+            request.result = network(request.payload)
+        del self._executing[gpu.gpu_id]
+        self._pending_event.pop(gpu.gpu_id, None)
+        self.estimator.clear_busy(gpu.gpu_id)
+        self.cache.on_used(gpu.gpu_id, request.model_id)
+        self._set_status(gpu, "idle")
+        self._record_latency(request)
+        self.on_complete(request)
+        self.on_idle(gpu)
+
+    # ------------------------------------------------------------------
+    # Failure handling (not in the paper's evaluation, but required of a
+    # production runtime: a GPU can die mid-load or mid-inference)
+    # ------------------------------------------------------------------
+    def abort(self, gpu: GPUDevice) -> InferenceRequest | None:
+        """Take ``gpu`` offline, discarding its state.
+
+        Cancels the pending load/inference completion, kills every resident
+        process (the models in its memory are lost), withdraws them from
+        the Cache Manager, and returns the in-flight request (if any) so
+        the caller can re-queue it.  Marks the GPU OFFLINE and its
+        Datastore status ``"offline"``.
+        """
+        if gpu.node_id != self.node.node_id:
+            raise ValueError(f"{gpu.gpu_id} is not managed by node {self.node.node_id}")
+        event = self._pending_event.pop(gpu.gpu_id, None)
+        if event is not None:
+            event.cancel()
+        inflight = self._executing.pop(gpu.gpu_id, None)
+        for model_id in gpu.resident_models():
+            gpu.evict(model_id, force=True)
+            # a model that was still uploading when the GPU died was never
+            # registered as a cache item — only withdraw known ones
+            if self.cache.is_cached_on(model_id, gpu.gpu_id):
+                self.cache.on_evicted(gpu.gpu_id, model_id)
+        gpu.go_offline()
+        self.estimator.clear_busy(gpu.gpu_id)
+        self._set_status(gpu, "offline")
+        return inflight
+
+    def recover(self, gpu: GPUDevice) -> None:
+        """Bring a failed GPU back, empty, and report it idle."""
+        gpu.come_online()
+        self._set_status(gpu, "idle")
+        self.on_idle(gpu)
+
+    # ------------------------------------------------------------------
+    # Datastore reporting (§III-C, §III-E)
+    # ------------------------------------------------------------------
+    def in_flight(self, gpu_id: str) -> InferenceRequest | None:
+        return self._executing.get(gpu_id)
+
+    def _publish_busy_until(self, gpu: GPUDevice, t: float) -> None:
+        self.estimator.set_busy_until(gpu.gpu_id, t)
+        if self.datastore is not None:
+            self.datastore.put(f"gpu/finish_time/{gpu.gpu_id}", t)
+
+    def _set_status(self, gpu: GPUDevice, status: str) -> None:
+        if self.datastore is not None:
+            self.datastore.put(f"gpu/status/{gpu.gpu_id}", status)
+
+    def _record_latency(self, request: InferenceRequest) -> None:
+        if self.datastore is None:
+            return
+        self.datastore.put(
+            f"fn/latency/{request.request_id}",
+            {
+                "function": request.function_name,
+                "model": request.model_id,
+                "gpu": request.gpu_id,
+                "latency_s": request.latency,
+                "queueing_s": request.queueing_delay,
+                "cache_hit": request.cache_hit,
+                "false_miss": request.false_miss,
+            },
+        )

@@ -1,0 +1,291 @@
+"""Scheduling policies (paper §IV).
+
+* :class:`LoadBalancingPolicy` (**LB**) — the baseline: "simply dispatches
+  the request at the head of the global queue whenever a GPU becomes idle"
+  (§V-A).
+* :class:`LALBPolicy` — locality-aware load-balancing, Algorithms 1 and 2,
+  parameterized by the out-of-order (O3) skip limit.  ``limit=0`` is the
+  paper's **LALB**; ``limit=25`` (the default) is **LALBO3**.
+
+Policies act through the :class:`SchedulerOps` interface exposed by the
+Scheduler, so they are pure decision logic and unit-testable against fakes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Protocol
+
+from ..cluster.gpu import GPUDevice
+from .cache_manager import CacheManager
+from .estimator import FinishTimeEstimator
+from .queues import GlobalQueue, LocalQueues
+from .request import InferenceRequest
+
+__all__ = [
+    "SchedulerOps",
+    "SchedulingPolicy",
+    "LoadBalancingPolicy",
+    "LocalityOnlyPolicy",
+    "LALBPolicy",
+    "make_scheduling_policy",
+    "DEFAULT_O3_LIMIT",
+]
+
+#: Paper §IV-B: "it sets a specified limit (by default 25)".
+DEFAULT_O3_LIMIT = 25
+
+
+class SchedulerOps(Protocol):  # pragma: no cover - typing interface
+    """What a policy may observe and do; implemented by the Scheduler."""
+
+    global_queue: GlobalQueue
+    local_queues: LocalQueues
+    cache: CacheManager
+    estimator: FinishTimeEstimator
+
+    def idle_gpus(self) -> list[GPUDevice]: ...
+    def idle_gpus_by_frequency(self) -> list[GPUDevice]: ...
+    def busy_gpus(self) -> list[GPUDevice]: ...
+    def gpu(self, gpu_id: str) -> GPUDevice: ...
+    def dispatch(self, request: InferenceRequest, gpu: GPUDevice) -> None: ...
+    def dispatch_local_head(self, gpu: GPUDevice) -> None: ...
+    def move_to_local(self, request: InferenceRequest, gpu: GPUDevice) -> None: ...
+    def may_dispatch(
+        self, request: InferenceRequest, gpu: GPUDevice | None = None
+    ) -> bool: ...
+
+
+class SchedulingPolicy(ABC):
+    """One pass of scheduling decisions over the current system state."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def schedule_pass(self, s: SchedulerOps) -> bool:
+        """Make dispatch decisions; return True if anything changed.
+
+        The Scheduler re-invokes the pass until it reports no progress, so a
+        policy need not drain every opportunity in a single pass.
+        """
+
+
+class LoadBalancingPolicy(SchedulingPolicy):
+    """Default load-balancing baseline (no locality awareness)."""
+
+    name = "lb"
+
+    def schedule_pass(self, s: SchedulerOps) -> bool:
+        progress = False
+        for gpu in s.idle_gpus():
+            if not gpu.is_idle:  # may have changed earlier in this pass
+                continue
+            # LB never populates local queues, but drain defensively so a
+            # policy switch mid-experiment cannot strand requests.
+            if s.local_queues.peek(gpu.gpu_id) is not None:
+                s.dispatch_local_head(gpu)
+                progress = True
+                continue
+            request = self._head(s, gpu)
+            if request is None:
+                continue
+            s.dispatch(request, gpu)
+            progress = True
+        return progress
+
+    @staticmethod
+    def _head(s: SchedulerOps, gpu: GPUDevice) -> InferenceRequest | None:
+        for request in s.global_queue:
+            if s.may_dispatch(request, gpu):
+                return request
+        return None
+
+
+class LocalityOnlyPolicy(SchedulingPolicy):
+    """Pure locality: always wait for the GPU that caches the model.
+
+    The strawman §I warns about: "favoring locality may increase the
+    average latency of requests because all the requests are forwarded to
+    the GPU that has the model cached while the others are left idle."
+
+    A request whose model is cached *anywhere* is bound to a caching GPU
+    (idle → dispatch, busy → local queue, however long the wait); only
+    requests whose model is cached nowhere may use an idle GPU.  Exists to
+    quantify why LALB balances locality against load (see
+    ``benchmarks/test_ablation_locality_only.py``).
+    """
+
+    name = "locality"
+
+    def schedule_pass(self, s: SchedulerOps) -> bool:
+        progress = False
+        # serve local queues first, like LALB
+        for gpu in s.idle_gpus_by_frequency():
+            if not gpu.is_idle:
+                continue
+            if s.local_queues.peek(gpu.gpu_id) is not None:
+                s.dispatch_local_head(gpu)
+                progress = True
+        for request in s.global_queue:
+            if not s.may_dispatch(request):
+                continue
+            locations = s.cache.locations(request.model_id)
+            if locations:
+                handled = self._bind_to_cached_gpu(s, request, locations)
+                progress = progress or handled
+            else:
+                idle = [
+                    g
+                    for g in s.idle_gpus_by_frequency()
+                    if s.local_queues.peek(g.gpu_id) is None and s.may_dispatch(request, g)
+                ]
+                if idle:
+                    s.dispatch(request, idle[0])
+                    progress = True
+        return progress
+
+    @staticmethod
+    def _bind_to_cached_gpu(s: SchedulerOps, request, locations) -> bool:
+        for gpu_id in locations:
+            gpu = s.gpu(gpu_id)
+            if gpu.is_idle and s.local_queues.peek(gpu_id) is None:
+                s.dispatch(request, gpu)
+                return True
+        # every caching GPU is busy → wait behind the least-loaded copy,
+        # no matter how long (that is the point of the strawman)
+        busy = [s.gpu(g) for g in locations if not s.gpu(g).is_idle and s.gpu(g).is_online]
+        if not busy:
+            return False  # caching GPUs exist but are unusable right now
+        target = min(busy, key=lambda g: (s.estimator.estimated_finish_time(g), g.gpu_id))
+        s.move_to_local(request, target)
+        return True
+
+
+class LALBPolicy(SchedulingPolicy):
+    """Locality-Aware Load-Balancing with optional out-of-order dispatch.
+
+    Implements Algorithm 1 (per idle GPU, sorted by use frequency):
+
+    1. serve the GPU's local queue first;
+    2. scan the global queue in arrival order for a request whose model is
+       cached on this GPU and dispatch it (the O3 promotion), force-routing
+       any request that has been skipped more than ``limit`` times through
+       :meth:`_locality_load_balance` (Algorithm 2) to prevent starvation;
+    3. if no queued request is cached here, run Algorithm 2 over the queue
+       in arrival order until some request lands on this GPU.
+    """
+
+    def __init__(self, limit: int = DEFAULT_O3_LIMIT) -> None:
+        if limit < 0:
+            raise ValueError("O3 limit cannot be negative")
+        self.limit = limit
+        self.name = "lalbo3" if limit > 0 else "lalb"
+
+    def schedule_pass(self, s: SchedulerOps) -> bool:
+        progress = False
+        for gpu in s.idle_gpus_by_frequency():
+            if not gpu.is_idle:  # became busy earlier in this pass
+                continue
+            # Alg. 1 lines 2–5: local queue has absolute priority.
+            if s.local_queues.peek(gpu.gpu_id) is not None:
+                s.dispatch_local_head(gpu)
+                progress = True
+                continue
+            if len(s.global_queue) == 0:
+                continue
+            if self._schedule_gpu(s, gpu):
+                progress = True
+        return progress
+
+    # ------------------------------------------------------------------
+    def _schedule_gpu(self, s: SchedulerOps, gpu: GPUDevice) -> bool:
+        """Algorithm 1 lines 6–22 for one idle GPU; True if anything changed."""
+        acted = False
+        # -- first scan (lines 6–16): look for a cache hit on this GPU ----
+        for request in s.global_queue:
+            if not s.may_dispatch(request):
+                continue
+            if s.cache.is_cached_on(request.model_id, gpu.gpu_id):
+                s.dispatch(request, gpu)  # line 8
+                return True
+            if request.visits > self.limit:  # line 11: starvation guard
+                outcome = self._locality_load_balance(s, gpu, request)
+                if outcome == "to_this_gpu":
+                    return True  # line 13: GPUi consumed → next GPU
+                if outcome == "handled":
+                    acted = True
+                continue  # blocked or handled elsewhere; keep scanning
+            request.visits += 1  # line 15: skipped once more
+        # -- second scan (lines 17–21): no cached request for this GPU ----
+        for request in s.global_queue:
+            if not s.may_dispatch(request):
+                continue
+            outcome = self._locality_load_balance(s, gpu, request)
+            if outcome == "to_this_gpu":
+                return True
+            if outcome == "handled":
+                acted = True
+        return acted
+
+    def _locality_load_balance(
+        self, s: SchedulerOps, gpu_i: GPUDevice, request: InferenceRequest
+    ) -> str:
+        """Algorithm 2.  Outcomes:
+
+        * ``"to_this_gpu"`` — dispatched to ``gpu_i`` as a cache miss
+          (Alg. 2 returns True);
+        * ``"handled"`` — dispatched to another idle GPU with the model
+          cached, or moved into a busy GPU's local queue (returns False);
+        * ``"blocked"`` — left in the global queue because the tenant's
+          quota forbids starting a new GPU process (§VI extension).
+        """
+        locations = s.cache.locations(request.model_id)
+        # Lines 1–3: not cached anywhere → allow the miss on GPUi
+        # (subject to the tenant's quota on new GPU processes, §VI).
+        if not locations:
+            if not s.may_dispatch(request, gpu_i):
+                return "blocked"  # stays queued until the tenant's usage drops
+            s.dispatch(request, gpu_i)
+            return "to_this_gpu"
+        # Lines 4–6: cached on another idle GPU → dispatch there instead.
+        # (Skip idle GPUs whose local queue is pending — Alg. 1 gives local
+        # queues absolute priority, so those GPUs are already spoken for.)
+        for gpu_id in locations:
+            other = s.gpu(gpu_id)
+            if (
+                other.is_idle
+                and other.gpu_id != gpu_i.gpu_id
+                and s.local_queues.peek(other.gpu_id) is None
+            ):
+                s.dispatch(request, other)
+                return "handled"
+        # Lines 8–15: cached on busy GPUs → queue behind the cached copy
+        # when the wait beats the model-loading time on the idle GPU.
+        for gpu_id in locations:
+            busy = s.gpu(gpu_id)
+            if busy.is_idle:
+                continue
+            if s.estimator.hit_on_busy_beats_miss_on_idle(request, busy, gpu_i):
+                s.move_to_local(request, busy)
+                return "handled"
+        # Lines 16–18: no busy GPU wins → allow the cache miss on GPUi
+        # (again subject to the tenant's new-process quota).
+        if not s.may_dispatch(request, gpu_i):
+            return "blocked"
+        s.dispatch(request, gpu_i)
+        return "to_this_gpu"
+
+
+def make_scheduling_policy(name: str, *, o3_limit: int = DEFAULT_O3_LIMIT) -> SchedulingPolicy:
+    """Factory: the paper's three schedulers (``"lb"``, ``"lalb"``,
+    ``"lalbo3"``) plus the ``"locality"`` strawman of §I."""
+    key = name.lower()
+    if key == "lb":
+        return LoadBalancingPolicy()
+    if key == "locality":
+        return LocalityOnlyPolicy()
+    if key == "lalb":
+        return LALBPolicy(limit=0)
+    if key == "lalbo3":
+        return LALBPolicy(limit=o3_limit)
+    raise KeyError(f"unknown policy {name!r}; known: lb, locality, lalb, lalbo3")

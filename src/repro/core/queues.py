@@ -1,0 +1,124 @@
+"""Scheduler queues: the system-wide global queue and per-GPU local queues.
+
+§III-B: the global queue holds all requests forwarded by the Gateway,
+sorted by arrival; each GPU's local queue holds requests the Scheduler has
+bound to that (busy) GPU, to be served before anything from the global
+queue.
+
+§VI scalability: the global queue keeps an auxiliary index from model
+instance to its queued requests (in arrival order), so "the complexity of
+this search is bounded by the number of models cached on the GPU" rather
+than the queue length.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Iterator
+
+from .request import InferenceRequest, RequestState
+
+__all__ = ["GlobalQueue", "LocalQueues"]
+
+
+class GlobalQueue:
+    """Arrival-ordered queue with a model-instance index."""
+
+    def __init__(self) -> None:
+        # OrderedDict gives O(1) removal while preserving arrival order.
+        self._queue: OrderedDict[int, InferenceRequest] = OrderedDict()
+        self._by_model: dict[str, OrderedDict[int, InferenceRequest]] = {}
+
+    def push(self, request: InferenceRequest) -> None:
+        if request.request_id in self._queue:
+            raise ValueError(f"request {request.request_id} already queued")
+        self._queue[request.request_id] = request
+        self._by_model.setdefault(request.model_id, OrderedDict())[request.request_id] = request
+
+    def push_sorted(self, request: InferenceRequest) -> None:
+        """Insert by arrival time (for re-queued requests after a failure).
+
+        Normal submissions arrive in time order so plain ``push`` keeps the
+        queue sorted; a request returned to the queue (GPU failure, §VI
+        fault handling) is older than the tail, so it is re-inserted at its
+        arrival-time position to preserve the paper's "sorted by arrival
+        times" invariant.  O(n), acceptable for rare failures.
+        """
+        if request.request_id in self._queue:
+            raise ValueError(f"request {request.request_id} already queued")
+        items = list(self._queue.values())
+        self._queue.clear()
+        self._by_model.clear()
+        inserted = False
+        for existing in items:
+            if not inserted and request.arrival_time < existing.arrival_time:
+                self.push(request)
+                inserted = True
+            self.push(existing)
+        if not inserted:
+            self.push(request)
+
+    def remove(self, request: InferenceRequest) -> None:
+        if request.request_id not in self._queue:
+            raise KeyError(f"request {request.request_id} is not in the global queue")
+        del self._queue[request.request_id]
+        bucket = self._by_model[request.model_id]
+        del bucket[request.request_id]
+        if not bucket:
+            del self._by_model[request.model_id]
+
+    def head(self) -> InferenceRequest | None:
+        return next(iter(self._queue.values()), None)
+
+    def first_for_model(self, model_id: str) -> InferenceRequest | None:
+        """Oldest queued request needing ``model_id`` (O(1) via the index)."""
+        bucket = self._by_model.get(model_id)
+        if not bucket:
+            return None
+        return next(iter(bucket.values()))
+
+    def queued_models(self) -> set[str]:
+        return set(self._by_model)
+
+    def __contains__(self, request: InferenceRequest) -> bool:
+        return request.request_id in self._queue
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __iter__(self) -> Iterator[InferenceRequest]:
+        """Iterate in arrival order over a snapshot (safe to mutate while iterating)."""
+        return iter(list(self._queue.values()))
+
+
+class LocalQueues:
+    """Per-GPU FIFO queues of requests bound to busy GPUs (Alg. 2 line 12)."""
+
+    def __init__(self) -> None:
+        self._queues: dict[str, deque[InferenceRequest]] = {}
+
+    def push(self, gpu_id: str, request: InferenceRequest) -> None:
+        request.state = RequestState.LOCAL_QUEUED
+        self._queues.setdefault(gpu_id, deque()).append(request)
+
+    def pop(self, gpu_id: str) -> InferenceRequest:
+        q = self._queues.get(gpu_id)
+        if not q:
+            raise IndexError(f"local queue of {gpu_id} is empty")
+        return q.popleft()
+
+    def peek(self, gpu_id: str) -> InferenceRequest | None:
+        q = self._queues.get(gpu_id)
+        return q[0] if q else None
+
+    def length(self, gpu_id: str) -> int:
+        return len(self._queues.get(gpu_id, ()))
+
+    def requests(self, gpu_id: str) -> list[InferenceRequest]:
+        return list(self._queues.get(gpu_id, ()))
+
+    def total(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def non_empty_gpus(self) -> list[str]:
+        return [g for g, q in self._queues.items() if q]

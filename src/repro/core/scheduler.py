@@ -1,0 +1,201 @@
+"""The global Scheduler (paper §III-B).
+
+Receives requests forwarded by the Gateway into the system-wide global
+queue, and dispatches them to GPUs according to the configured scheduling
+policy, using the GPU status, estimated finish times, and cache LRU lists
+maintained by the GPU Managers and Cache Manager.
+
+The Scheduler implements :class:`~repro.core.policies.SchedulerOps`: the
+policy objects decide, the Scheduler executes (removing requests from
+queues, invoking GPU Managers, shipping the GPU address with the dispatch).
+"""
+
+from __future__ import annotations
+
+from ..cluster.gpu import GPUDevice
+from ..cluster.topology import Cluster
+from ..datastore.client import DatastoreClient
+from ..sim import Simulator
+from .cache_manager import CacheManager
+from .decisions import Decision, DecisionKind, DecisionLog
+from .estimator import FinishTimeEstimator
+from .gpu_manager import GPUManager
+from .policies import SchedulingPolicy
+from .queues import GlobalQueue, LocalQueues
+from .request import InferenceRequest, RequestState
+from .tenancy import TenancyController
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler:
+    """Global scheduler: one per FaaS system."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        policy: SchedulingPolicy,
+        cache: CacheManager,
+        estimator: FinishTimeEstimator,
+        gpu_managers: dict[str, GPUManager],
+        *,
+        datastore: DatastoreClient | None = None,
+        tenancy: TenancyController | None = None,
+    ) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.policy = policy
+        self.cache = cache
+        self.estimator = estimator
+        self.local_queues = estimator.local_queues
+        self.global_queue = GlobalQueue()
+        self.datastore = datastore
+        self.tenancy = tenancy
+        self._managers = gpu_managers  # node_id -> GPUManager
+        self._scheduling = False
+        self.dispatched_count = 0
+        self.decisions = DecisionLog()
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def submit(self, request: InferenceRequest) -> None:
+        """Accept a request from the Gateway into the global queue."""
+        request.state = RequestState.QUEUED
+        self.global_queue.push(request)
+        self._run_policy()
+
+    def on_gpu_idle(self, gpu: GPUDevice) -> None:
+        """GPU Manager callback: a GPU finished its request."""
+        self._run_policy()
+
+    def drain_local(self, gpu_id: str) -> list[InferenceRequest]:
+        """Empty a GPU's local queue (failure handling): the locality that
+        bound these requests here is gone with the GPU's memory."""
+        drained = []
+        while self.local_queues.peek(gpu_id) is not None:
+            drained.append(self.local_queues.pop(gpu_id))
+        return drained
+
+    def resubmit(self, request: InferenceRequest) -> None:
+        """Return a request to the global queue at its arrival position."""
+        request.reset_for_retry()
+        self._record(DecisionKind.RESUBMIT, request, None)
+        self.global_queue.push_sorted(request)
+        self._run_policy()
+
+    def _run_policy(self) -> None:
+        """Run scheduling passes until the policy makes no more progress.
+
+        §IV-A: the scheduler acts when at least one request is waiting
+        (global or local) and at least one GPU is idle.  The re-entrancy
+        guard matters because dispatching can synchronously change GPU
+        state, which policies observe mid-pass.
+        """
+        if self._scheduling:
+            return
+        if not self.cluster.idle_gpus():
+            return
+        if len(self.global_queue) == 0 and self.local_queues.total() == 0:
+            return
+        self._scheduling = True
+        try:
+            while self.policy.schedule_pass(self):
+                if not self.cluster.idle_gpus():
+                    break
+                if len(self.global_queue) == 0 and self.local_queues.total() == 0:
+                    break
+        finally:
+            self._scheduling = False
+
+    # ------------------------------------------------------------------
+    # SchedulerOps: observations
+    # ------------------------------------------------------------------
+    def idle_gpus(self) -> list[GPUDevice]:
+        return self.cluster.idle_gpus()
+
+    def idle_gpus_by_frequency(self) -> list[GPUDevice]:
+        """Idle GPUs, most-used first (Alg. 1's "sorted by frequency").
+
+        Frequency is the number of requests the GPU has completed; ties
+        break on gpu_id for determinism.
+        """
+        return sorted(
+            self.cluster.idle_gpus(), key=lambda g: (-g.completed_requests, g.gpu_id)
+        )
+
+    def busy_gpus(self) -> list[GPUDevice]:
+        return self.cluster.busy_gpus()
+
+    def gpu(self, gpu_id: str) -> GPUDevice:
+        return self.cluster.gpu(gpu_id)
+
+    def may_dispatch(self, request: InferenceRequest, gpu: GPUDevice | None = None) -> bool:
+        """Tenancy admission check (§VI isolation).
+
+        With a concrete target ``gpu`` the check is exact: dispatching a
+        model not cached there starts a new GPU process and counts against
+        the tenant's process/memory quota; a cache hit does not.
+        """
+        if self.tenancy is None:
+            return True
+        will_load = None
+        if gpu is not None:
+            will_load = not self.cache.is_cached_on(request.model_id, gpu.gpu_id)
+        return self.tenancy.allows(request, will_load=will_load)
+
+    # ------------------------------------------------------------------
+    # SchedulerOps: actions
+    # ------------------------------------------------------------------
+    def dispatch(self, request: InferenceRequest, gpu: GPUDevice) -> None:
+        """Remove ``request`` from the global queue and execute it on ``gpu``.
+
+        The dispatch carries the GPU address (server IP + device name) as
+        §III-B describes; it is recorded on the request for the logs.
+        """
+        self.global_queue.remove(request)
+        kind = (
+            DecisionKind.DISPATCH_HIT
+            if self.cache.is_cached_on(request.model_id, gpu.gpu_id)
+            else DecisionKind.DISPATCH_MISS
+        )
+        self._record(kind, request, gpu.gpu_id)
+        self._execute(request, gpu)
+
+    def dispatch_local_head(self, gpu: GPUDevice) -> None:
+        """Serve the head of ``gpu``'s local queue (Alg. 1 lines 2–5)."""
+        request = self.local_queues.pop(gpu.gpu_id)
+        self._record(DecisionKind.DISPATCH_LOCAL, request, gpu.gpu_id)
+        self._execute(request, gpu)
+
+    def move_to_local(self, request: InferenceRequest, gpu: GPUDevice) -> None:
+        """Bind ``request`` to busy ``gpu``'s local queue (Alg. 2 line 12)."""
+        if gpu.is_idle:
+            raise RuntimeError(
+                f"refusing to local-queue on idle {gpu.gpu_id}; dispatch instead"
+            )
+        self.global_queue.remove(request)
+        self._record(DecisionKind.MOVE_TO_LOCAL, request, gpu.gpu_id)
+        self.local_queues.push(gpu.gpu_id, request)
+
+    def _record(self, kind: DecisionKind, request: InferenceRequest, gpu_id: str | None) -> None:
+        self.decisions.record(
+            Decision(
+                time_s=self.sim.now,
+                kind=kind,
+                request_id=request.request_id,
+                model_id=request.model_id,
+                gpu_id=gpu_id,
+                visits=request.visits,
+            )
+        )
+
+    def _execute(self, request: InferenceRequest, gpu: GPUDevice) -> None:
+        node = self.cluster.node_of(gpu.gpu_id)
+        ip, device = node.gpu_address(gpu)
+        request.state = RequestState.DISPATCHED
+        # the "GPU address" shipped with the function's container (§III-B)
+        request.gpu_address = (ip, device)
+        self._managers[node.node_id].execute(request, gpu)
+        self.dispatched_count += 1

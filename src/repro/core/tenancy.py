@@ -1,0 +1,177 @@
+"""Multi-tenant isolation on GPU resources (paper §VI).
+
+The paper sketches three isolation levers against bad actors:
+
+* "limiting the number of GPU processes that each tenant can use",
+* "limiting the GPU time share ... that a tenant can use",
+* "limiting the ... memory space share that a tenant can use".
+
+:class:`TenancyController` implements all three as admission checks the
+Scheduler consults before dispatching a request.  A request whose tenant is
+over quota simply stays in the global queue until the tenant's usage drops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..models.profiles import ModelInstance
+from ..sim import Simulator
+from .request import InferenceRequest
+
+__all__ = ["TenantQuota", "TenancyController"]
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Limits for one tenant; ``None`` disables a dimension."""
+
+    max_processes: int | None = None       # concurrent GPU processes
+    max_memory_fraction: float | None = None  # share of total GPU memory
+    max_time_fraction: float | None = None    # share of total GPU time
+
+    def __post_init__(self) -> None:
+        if self.max_processes is not None and self.max_processes < 0:
+            raise ValueError("max_processes cannot be negative")
+        for frac in (self.max_memory_fraction, self.max_time_fraction):
+            if frac is not None and not 0.0 <= frac <= 1.0:
+                raise ValueError("fractions must be within [0, 1]")
+
+
+class TenancyController:
+    """Tracks per-tenant usage and answers admission checks."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        quotas: dict[str, TenantQuota] | None = None,
+        total_memory_mb: float,
+        num_gpus: int,
+        cache=None,
+    ) -> None:
+        """``cache`` (optional) is a CacheManager-like object exposing
+        ``cached_anywhere(model_id)``; with it, requests whose model is
+        already resident somewhere are admitted even at the process limit
+        (they will be served as cache hits and start no new process).
+        Without it the controller is conservative and blocks them too."""
+        if total_memory_mb <= 0 or num_gpus <= 0:
+            raise ValueError("cluster capacity must be positive")
+        self.sim = sim
+        self.quotas = dict(quotas or {})
+        self.total_memory_mb = total_memory_mb
+        self.num_gpus = num_gpus
+        self._cache = cache
+        self._tenant_of_model: dict[str, str] = {}
+        self._model_size: dict[str, float] = {}
+        self._processes: dict[str, int] = {}      # tenant -> resident process count
+        self._memory_mb: dict[str, float] = {}    # tenant -> resident MB
+        self._gpu_time_s: dict[str, float] = {}   # tenant -> cumulative busy seconds
+        #: models reserved at dispatch time but not yet reported loaded —
+        #: closes the window where concurrent dispatches could overshoot a
+        #: quota before their "load" cache events arrive
+        self._pending_loads: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Registration and accounting hooks
+    # ------------------------------------------------------------------
+    def register_instance(self, instance: ModelInstance) -> None:
+        """Teach the controller which tenant owns a model instance."""
+        self._tenant_of_model[instance.instance_id] = instance.tenant
+        self._model_size[instance.instance_id] = instance.occupied_mb
+
+    def on_dispatch(self, request: InferenceRequest) -> None:
+        """GPU Manager hook: a dispatch that will load a model reserves the
+        tenant's process/memory budget immediately."""
+        if request.cache_hit is not False:
+            return
+        model_id = request.model_id
+        tenant = self._tenant_of_model.get(model_id)
+        if tenant is None or model_id in self._pending_loads:
+            return
+        self._pending_loads.add(model_id)
+        self._processes[tenant] = self._processes.get(tenant, 0) + 1
+        self._memory_mb[tenant] = (
+            self._memory_mb.get(tenant, 0.0) + self._model_size[model_id]
+        )
+
+    def on_load_aborted(self, model_id: str) -> None:
+        """Release a dispatch-time reservation whose load never completed
+        (the target GPU failed mid-upload)."""
+        if model_id not in self._pending_loads:
+            return
+        self._pending_loads.discard(model_id)
+        tenant = self._tenant_of_model.get(model_id)
+        if tenant is None:
+            return
+        self._processes[tenant] = max(0, self._processes.get(tenant, 0) - 1)
+        self._memory_mb[tenant] = max(
+            0.0, self._memory_mb.get(tenant, 0.0) - self._model_size[model_id]
+        )
+
+    def on_cache_event(self, kind: str, gpu_id: str, model_id: str, now: float) -> None:
+        """CacheManager observer: track per-tenant processes and memory."""
+        tenant = self._tenant_of_model.get(model_id)
+        if tenant is None:
+            return
+        size = self._model_size[model_id]
+        if kind == "load":
+            if model_id in self._pending_loads:
+                self._pending_loads.discard(model_id)  # reserved at dispatch
+                return
+            self._processes[tenant] = self._processes.get(tenant, 0) + 1
+            self._memory_mb[tenant] = self._memory_mb.get(tenant, 0.0) + size
+        elif kind == "evict":
+            self._processes[tenant] = max(0, self._processes.get(tenant, 0) - 1)
+            self._memory_mb[tenant] = max(0.0, self._memory_mb.get(tenant, 0.0) - size)
+
+    def on_request_complete(self, request: InferenceRequest) -> None:
+        """Charge the request's service time against its tenant."""
+        self._gpu_time_s[request.tenant] = (
+            self._gpu_time_s.get(request.tenant, 0.0) + request.service_time
+        )
+
+    # ------------------------------------------------------------------
+    # Admission check (consulted by the Scheduler)
+    # ------------------------------------------------------------------
+    def allows(self, request: InferenceRequest, *, will_load: bool | None = None) -> bool:
+        """Admission check.
+
+        ``will_load`` tells the controller whether the candidate dispatch
+        would start a new GPU process (the Scheduler knows: the target GPU
+        either caches the model or not).  ``None`` falls back to a
+        conservative heuristic: a new process is assumed unless the model
+        is known to be resident somewhere.
+        """
+        quota = self.quotas.get(request.tenant)
+        if quota is None:
+            return True
+        tenant = request.tenant
+        if will_load is not None:
+            may_start_process = will_load
+        else:
+            may_start_process = not (
+                self._cache is not None and self._cache.cached_anywhere(request.model_id)
+            )
+        if quota.max_processes is not None and may_start_process:
+            if self._processes.get(tenant, 0) >= quota.max_processes:
+                return False
+        if quota.max_memory_fraction is not None and may_start_process:
+            projected = self._memory_mb.get(tenant, 0.0) + request.model.occupied_mb
+            if projected / self.total_memory_mb > quota.max_memory_fraction:
+                return False
+        if quota.max_time_fraction is not None and self.sim.now > 0:
+            capacity = self.num_gpus * self.sim.now
+            if self._gpu_time_s.get(tenant, 0.0) / capacity > quota.max_time_fraction:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection (used by tests and reports)
+    # ------------------------------------------------------------------
+    def usage(self, tenant: str) -> dict[str, float]:
+        return {
+            "processes": self._processes.get(tenant, 0),
+            "memory_mb": self._memory_mb.get(tenant, 0.0),
+            "gpu_time_s": self._gpu_time_s.get(tenant, 0.0),
+        }

@@ -1,0 +1,26 @@
+"""etcd-like Datastore: MVCC KV store, watches, leases, transactions."""
+
+from .client import Datastore, DatastoreClient
+from .kv import CompactedError, KeyValue, KVStore
+from .lease import Lease, LeaseManager
+from .txn import Compare, CompareTarget, Op, Txn, TxnResult
+from .watch import EventType, Watch, WatchEvent, WatchHub
+
+__all__ = [
+    "Datastore",
+    "DatastoreClient",
+    "CompactedError",
+    "KeyValue",
+    "KVStore",
+    "Lease",
+    "LeaseManager",
+    "Compare",
+    "CompareTarget",
+    "Op",
+    "Txn",
+    "TxnResult",
+    "EventType",
+    "Watch",
+    "WatchEvent",
+    "WatchHub",
+]

@@ -1,0 +1,108 @@
+"""Datastore facade and the key schema shared by the FaaS components.
+
+:class:`Datastore` bundles the MVCC store, watch hub, and lease manager.
+:class:`DatastoreClient` adds a key-prefix namespace per component.
+
+Key schema (paper §III-E: "The Datastore stores the estimated latency of
+each inference request, the LRU list of each GPU, and the status of each
+GPU"):
+
+==============================  =============================================
+key                             value
+==============================  =============================================
+``gpu/status/<gpu_id>``         ``"busy"`` | ``"idle"``
+``gpu/finish_time/<gpu_id>``    float, absolute estimated finish time
+``gpu/lru/<gpu_id>``            list[str], LRU order (head = coldest)
+``cache/locations/<model>``     list[str], GPUs where the model is resident
+``fn/meta/<fn_name>``           dict, registered-function metadata
+``fn/latency/<request_id>``     dict, per-invocation latency record
+``fn/scale/<fn_name>``          int, current replica count
+==============================  =============================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..sim import Simulator
+from .kv import KeyValue, KVStore
+from .lease import Lease, LeaseManager
+from .txn import Txn
+from .watch import Watch, WatchEvent, WatchHub
+
+__all__ = ["Datastore", "DatastoreClient"]
+
+
+class Datastore:
+    """The system-wide etcd-like store (KV + watches + leases + txns)."""
+
+    def __init__(self, sim: Simulator, *, watch_delay: float = 0.0) -> None:
+        self.sim = sim
+        self.kv = KVStore()
+        self.watches = WatchHub(self.kv, sim=sim, delay=watch_delay)
+        self.leases = LeaseManager(sim, self.kv)
+
+    def client(self, namespace: str = "") -> "DatastoreClient":
+        """A client view under ``namespace`` (empty = root)."""
+        return DatastoreClient(self, namespace)
+
+    def txn(self) -> Txn:
+        """Start an atomic transaction on the root keyspace."""
+        return Txn(self.kv)
+
+
+class DatastoreClient:
+    """A view of the Datastore under a key prefix (etcd namespacing)."""
+
+    def __init__(self, store: Datastore, namespace: str = "") -> None:
+        if namespace and not namespace.endswith("/"):
+            namespace += "/"
+        self._store = store
+        self.namespace = namespace
+
+    # ------------------------------------------------------------------
+    def _k(self, key: str) -> str:
+        return self.namespace + key
+
+    def put(self, key: str, value: Any, *, lease: Lease | None = None) -> KeyValue:
+        """Write a namespaced key (optionally bound to a lease)."""
+        kv = self._store.kv.put(self._k(key), value)
+        if lease is not None:
+            lease.attach(self._k(key))
+        return kv
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Latest value of a namespaced key, or ``default``."""
+        return self._store.kv.get_value(self._k(key), default)
+
+    def get_kv(self, key: str) -> KeyValue | None:
+        """Full KeyValue (with revisions) of a namespaced key."""
+        return self._store.kv.get(self._k(key))
+
+    def delete(self, key: str) -> bool:
+        """Delete a namespaced key; True if it existed."""
+        return self._store.kv.delete(self._k(key))
+
+    def range(self, prefix: str) -> dict[str, Any]:
+        """Live key→value pairs under ``prefix`` (namespace stripped)."""
+        full = self._k(prefix)
+        n = len(self.namespace)
+        return {kv.key[n:]: kv.value for kv in self._store.kv.range(full)}
+
+    def watch(
+        self, key: str, fn: Callable[[WatchEvent], None], *, prefix: bool = False
+    ) -> Watch:
+        """Watch a namespaced key (or prefix) for changes."""
+        return self._store.watches.watch(self._k(key), fn, prefix=prefix)
+
+    def lease(self, ttl: float) -> Lease:
+        """Grant a TTL lease from the shared lease manager."""
+        return self._store.leases.grant(ttl)
+
+    def txn(self) -> Txn:
+        if self.namespace:
+            raise RuntimeError(
+                "transactions are namespace-unaware; build them on Datastore.txn() "
+                "with fully qualified keys"
+            )
+        return self._store.txn()

@@ -1,0 +1,245 @@
+"""Revisioned (MVCC) key-value store — the core of the etcd-like Datastore.
+
+The paper's Datastore is etcd (§III-E): "a distributed key-value store that
+guarantees a high level of consistency".  The Cache Manager and GPU Managers
+publish GPU status, LRU lists, and estimated latencies here, and the
+Scheduler reads them to make dispatch decisions.
+
+This module implements the etcd data model faithfully enough for all of
+those interactions plus the tests' linearizability checks:
+
+* a single, monotonically increasing **store revision** bumped by every
+  mutation (put / delete / lease expiry),
+* per-key ``create_revision`` / ``mod_revision`` / ``version`` metadata,
+* historical reads (``get(key, revision=...)``) backed by per-key history,
+* range / prefix reads, and
+* compaction that discards history below a revision.
+
+Values are arbitrary Python objects; like etcd, the store never interprets
+them.  It is in-process and synchronous — the "distributed" aspect of etcd
+matters to the paper only as a consistent shared blackboard, which a single
+linearizable store models exactly.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+__all__ = ["KeyValue", "KVStore", "CompactedError"]
+
+_TOMBSTONE = object()
+
+
+class CompactedError(LookupError):
+    """Raised when reading at a revision that has been compacted away."""
+
+
+@dataclass(frozen=True)
+class KeyValue:
+    """A key-value pair plus its etcd-style revision metadata."""
+
+    key: str
+    value: Any
+    create_revision: int
+    mod_revision: int
+    version: int  # number of writes since creation; 1 for a fresh key
+
+
+class KVStore:
+    """In-memory MVCC key-value store with etcd semantics."""
+
+    def __init__(self) -> None:
+        self._revision = 0
+        self._compacted = 0
+        # live view: key -> KeyValue
+        self._live: dict[str, KeyValue] = {}
+        # history: key -> ([mod_revisions], [KeyValue-or-tombstone])
+        self._history: dict[str, tuple[list[int], list[Any]]] = {}
+        # global event log for watch replay: (revision, key, KeyValue|None)
+        self._events: list[tuple[int, str, KeyValue | None]] = []
+        # mutation hooks (used by the watch subsystem)
+        self._on_mutation: list[Callable[[str, KeyValue | None, int], None]] = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def revision(self) -> int:
+        """Current store revision (0 before any write)."""
+        return self._revision
+
+    @property
+    def compacted_revision(self) -> int:
+        """Highest revision whose history has been discarded."""
+        return self._compacted
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._live
+
+    def keys(self) -> list[str]:
+        """All live keys, sorted."""
+        return sorted(self._live)
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def put(self, key: str, value: Any) -> KeyValue:
+        """Write ``key`` and return its new :class:`KeyValue`."""
+        if not isinstance(key, str) or not key:
+            raise ValueError("key must be a non-empty string")
+        self._revision += 1
+        prev = self._live.get(key)
+        kv = KeyValue(
+            key=key,
+            value=value,
+            create_revision=prev.create_revision if prev else self._revision,
+            mod_revision=self._revision,
+            version=prev.version + 1 if prev else 1,
+        )
+        self._live[key] = kv
+        self._record(key, kv)
+        self._events.append((self._revision, key, kv))
+        self._notify(key, kv, self._revision)
+        return kv
+
+    def delete(self, key: str) -> bool:
+        """Delete ``key``; returns whether it existed."""
+        if key not in self._live:
+            return False
+        self._revision += 1
+        del self._live[key]
+        self._record(key, _TOMBSTONE)
+        self._events.append((self._revision, key, None))
+        self._notify(key, None, self._revision)
+        return True
+
+    def delete_prefix(self, prefix: str) -> int:
+        """Delete every key starting with ``prefix``; returns count deleted."""
+        victims = [k for k in self._live if k.startswith(prefix)]
+        for k in victims:
+            self.delete(k)
+        return len(victims)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def get(self, key: str, revision: int | None = None) -> KeyValue | None:
+        """Read ``key`` at the latest (or a historical) revision."""
+        if revision is None:
+            return self._live.get(key)
+        if revision < self._compacted:
+            raise CompactedError(
+                f"revision {revision} compacted (compacted at {self._compacted})"
+            )
+        if revision > self._revision:
+            raise ValueError(f"revision {revision} is in the future (now {self._revision})")
+        hist = self._history.get(key)
+        if hist is None:
+            return None
+        revs, vals = hist
+        idx = bisect.bisect_right(revs, revision) - 1
+        if idx < 0:
+            return None
+        val = vals[idx]
+        return None if val is _TOMBSTONE else val
+
+    def get_value(self, key: str, default: Any = None) -> Any:
+        """Convenience: latest value of ``key`` or ``default``."""
+        kv = self._live.get(key)
+        return kv.value if kv is not None else default
+
+    def range(self, prefix: str, *, limit: int | None = None) -> list[KeyValue]:
+        """Live pairs whose key starts with ``prefix``, sorted by key.
+
+        ``limit`` bounds the result like etcd's range limit (None = all).
+        """
+        if limit is not None and limit < 0:
+            raise ValueError("limit cannot be negative")
+        out = [self._live[k] for k in sorted(self._live) if k.startswith(prefix)]
+        return out if limit is None else out[:limit]
+
+    def range_interval(self, start: str, end: str, *, limit: int | None = None) -> list[KeyValue]:
+        """Live pairs with ``start <= key < end`` (etcd's half-open range)."""
+        if end <= start:
+            return []
+        if limit is not None and limit < 0:
+            raise ValueError("limit cannot be negative")
+        out = [self._live[k] for k in sorted(self._live) if start <= k < end]
+        return out if limit is None else out[:limit]
+
+    def events_since(self, revision: int) -> list[tuple[int, str, KeyValue | None]]:
+        """All mutations with revision strictly greater than ``revision``.
+
+        Powers watch replay ("watch from revision").  Raises
+        :class:`CompactedError` when the requested start has been compacted.
+        """
+        if revision < self._compacted:
+            # events at or below the compaction point are gone, so a replay
+            # starting before it would silently skip mutations
+            raise CompactedError(
+                f"cannot replay from revision {revision}: compacted at {self._compacted}"
+            )
+        idx = bisect.bisect_right([e[0] for e in self._events], revision)
+        return self._events[idx:]
+
+    def items(self) -> Iterator[KeyValue]:
+        """Iterate live pairs in key order."""
+        for k in sorted(self._live):
+            yield self._live[k]
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def compact(self, revision: int) -> None:
+        """Discard history strictly below ``revision``.
+
+        Live values are never discarded; only the ability to read old
+        versions is lost, matching etcd's compaction contract.
+        """
+        if revision > self._revision:
+            raise ValueError("cannot compact beyond current revision")
+        if revision <= self._compacted:
+            return
+        self._compacted = revision
+        # drop replayable events at or below the compaction revision
+        idx = bisect.bisect_right([e[0] for e in self._events], revision)
+        del self._events[:idx]
+        empty = []
+        for key, (revs, vals) in self._history.items():
+            # Keep the newest entry at-or-below `revision` so historical reads
+            # at exactly `revision` still work.
+            idx = bisect.bisect_right(revs, revision) - 1
+            if idx > 0:
+                del revs[:idx]
+                del vals[:idx]
+            if len(revs) == 1 and vals[0] is _TOMBSTONE and key not in self._live:
+                empty.append(key)
+        for key in empty:
+            del self._history[key]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _record(self, key: str, entry: Any) -> None:
+        revs, vals = self._history.setdefault(key, ([], []))
+        revs.append(self._revision)
+        vals.append(entry)
+
+    def _notify(self, key: str, kv: KeyValue | None, revision: int) -> None:
+        for hook in list(self._on_mutation):
+            hook(key, kv, revision)
+
+    def subscribe(self, hook: Callable[[str, KeyValue | None, int], None]) -> Callable[[], None]:
+        """Register a mutation hook; returns an unsubscribe callable."""
+        self._on_mutation.append(hook)
+
+        def unsubscribe() -> None:
+            if hook in self._on_mutation:
+                self._on_mutation.remove(hook)
+
+        return unsubscribe

@@ -1,0 +1,147 @@
+"""etcd-style transactions: If(compares) / Then(ops) / Else(ops).
+
+Used wherever two components race on the same key — e.g. the Cache Manager
+claiming memory headroom on a GPU while a GPU Manager concurrently reports
+an eviction — to get compare-and-swap semantics out of the Datastore.
+"""
+
+from __future__ import annotations
+
+import enum
+import operator
+from dataclasses import dataclass
+from typing import Any
+
+from .kv import KVStore, KeyValue
+
+__all__ = ["CompareTarget", "Compare", "Op", "TxnResult", "Txn"]
+
+
+class CompareTarget(enum.Enum):
+    """Which attribute of a key a :class:`Compare` guard inspects."""
+
+    VALUE = "value"
+    VERSION = "version"
+    MOD_REVISION = "mod_revision"
+    CREATE_REVISION = "create_revision"
+    EXISTS = "exists"
+
+
+_OPS = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    ">": operator.gt,
+    "<=": operator.le,
+    ">=": operator.ge,
+}
+
+
+@dataclass(frozen=True)
+class Compare:
+    """A guard on one key, e.g. ``Compare("k", CompareTarget.VERSION, "==", 3)``."""
+
+    key: str
+    target: CompareTarget
+    op: str
+    operand: Any
+
+    def evaluate(self, kv: KeyValue | None) -> bool:
+        if self.op not in _OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+        if self.target is CompareTarget.EXISTS:
+            return _OPS[self.op](kv is not None, self.operand)
+        if kv is None:
+            # etcd treats a missing key as version/mod_revision/create_revision 0.
+            actual: Any = 0 if self.target is not CompareTarget.VALUE else None
+        else:
+            actual = getattr(kv, self.target.value)
+        try:
+            return _OPS[self.op](actual, self.operand)
+        except TypeError:
+            return False
+
+
+@dataclass(frozen=True)
+class Op:
+    """A mutation or read executed by the winning branch."""
+
+    kind: str  # "put" | "delete" | "get"
+    key: str
+    value: Any = None
+
+    @staticmethod
+    def put(key: str, value: Any) -> "Op":
+        return Op("put", key, value)
+
+    @staticmethod
+    def delete(key: str) -> "Op":
+        return Op("delete", key)
+
+    @staticmethod
+    def get(key: str) -> "Op":
+        return Op("get", key)
+
+
+@dataclass(frozen=True)
+class TxnResult:
+    succeeded: bool
+    responses: tuple[Any, ...]
+
+
+class Txn:
+    """Build and commit an atomic transaction against a :class:`KVStore`.
+
+    >>> store = KVStore()
+    >>> _ = store.put("x", 1)
+    >>> res = (Txn(store)
+    ...        .when(Compare("x", CompareTarget.VALUE, "==", 1))
+    ...        .then(Op.put("x", 2))
+    ...        .otherwise(Op.get("x"))
+    ...        .commit())
+    >>> res.succeeded, store.get_value("x")
+    (True, 2)
+    """
+
+    def __init__(self, store: KVStore) -> None:
+        self._store = store
+        self._compares: list[Compare] = []
+        self._then: list[Op] = []
+        self._else: list[Op] = []
+        self._committed = False
+
+    def when(self, *compares: Compare) -> "Txn":
+        self._compares.extend(compares)
+        return self
+
+    def then(self, *ops: Op) -> "Txn":
+        self._then.extend(ops)
+        return self
+
+    def otherwise(self, *ops: Op) -> "Txn":
+        self._else.extend(ops)
+        return self
+
+    def commit(self) -> TxnResult:
+        """Atomically evaluate guards and run the chosen branch.
+
+        The store is single-threaded, so "atomic" here means: guards are
+        evaluated against a consistent snapshot and no other mutation can
+        interleave with the branch's ops.
+        """
+        if self._committed:
+            raise RuntimeError("transaction already committed")
+        self._committed = True
+        succeeded = all(c.evaluate(self._store.get(c.key)) for c in self._compares)
+        branch = self._then if succeeded else self._else
+        responses: list[Any] = []
+        for op in branch:
+            if op.kind == "put":
+                responses.append(self._store.put(op.key, op.value))
+            elif op.kind == "delete":
+                responses.append(self._store.delete(op.key))
+            elif op.kind == "get":
+                responses.append(self._store.get(op.key))
+            else:
+                raise ValueError(f"unknown op kind {op.kind!r}")
+        return TxnResult(succeeded=succeeded, responses=tuple(responses))

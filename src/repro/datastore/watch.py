@@ -1,0 +1,131 @@
+"""Watches: change notification on keys and prefixes.
+
+The Scheduler learns about GPU status changes and LRU-list updates through
+watches rather than polling, mirroring how etcd clients consume the paper's
+Datastore.  Delivery is synchronous by default (the store is in-process);
+an optional :class:`~repro.sim.Simulator` adds a configurable notification
+delay so experiments can model stale reads.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..sim import Simulator
+from .kv import KeyValue, KVStore
+
+__all__ = ["EventType", "WatchEvent", "Watch", "WatchHub"]
+
+
+class EventType(enum.Enum):
+    """Kind of mutation a watcher observed."""
+
+    PUT = "put"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class WatchEvent:
+    """One delivered change: key, new value (None for deletes), revision."""
+
+    type: EventType
+    key: str
+    value: Any  # new value for PUT, None for DELETE
+    revision: int
+
+
+class Watch:
+    """A single registration; cancel() stops delivery."""
+
+    def __init__(self, hub: "WatchHub", key: str, prefix: bool, fn: Callable[[WatchEvent], None]):
+        self._hub = hub
+        self.key = key
+        self.prefix = prefix
+        self.fn = fn
+        self.cancelled = False
+        self.delivered = 0
+
+    def matches(self, key: str) -> bool:
+        """Does this registration cover ``key``?"""
+        return key.startswith(self.key) if self.prefix else key == self.key
+
+    def cancel(self) -> None:
+        """Stop delivery to this watch.  Idempotent."""
+        self.cancelled = True
+        self._hub._drop(self)
+
+
+class WatchHub:
+    """Dispatches store mutations to registered watches."""
+
+    def __init__(self, store: KVStore, sim: Simulator | None = None, delay: float = 0.0):
+        if delay < 0:
+            raise ValueError("delay cannot be negative")
+        if delay > 0 and sim is None:
+            raise ValueError("a Simulator is required for delayed delivery")
+        self._store = store
+        self._sim = sim
+        self._delay = delay
+        self._watches: list[Watch] = []
+        self._unsubscribe = store.subscribe(self._on_mutation)
+
+    def watch(
+        self,
+        key: str,
+        fn: Callable[[WatchEvent], None],
+        *,
+        prefix: bool = False,
+        start_revision: int | None = None,
+    ) -> Watch:
+        """Register a watch; with ``start_revision`` the watcher first
+        receives every historical mutation after that revision (etcd's
+        "watch from revision" catch-up), then live events."""
+        w = Watch(self, key, prefix, fn)
+        if start_revision is not None:
+            for revision, ev_key, kv in self._store.events_since(start_revision):
+                if not w.matches(ev_key):
+                    continue
+                if kv is None:
+                    ev = WatchEvent(EventType.DELETE, ev_key, None, revision)
+                else:
+                    ev = WatchEvent(EventType.PUT, ev_key, kv.value, revision)
+                self._deliver(w, ev)
+        self._watches.append(w)
+        return w
+
+    def close(self) -> None:
+        """Detach from the store and drop every watch."""
+        self._unsubscribe()
+        self._watches.clear()
+
+    @property
+    def active_watches(self) -> int:
+        """Number of live registrations."""
+        return len(self._watches)
+
+    # ------------------------------------------------------------------
+    def _drop(self, w: Watch) -> None:
+        if w in self._watches:
+            self._watches.remove(w)
+
+    def _on_mutation(self, key: str, kv: KeyValue | None, revision: int) -> None:
+        if kv is None:
+            ev = WatchEvent(EventType.DELETE, key, None, revision)
+        else:
+            ev = WatchEvent(EventType.PUT, key, kv.value, revision)
+        for w in list(self._watches):
+            if w.cancelled or not w.matches(key):
+                continue
+            if self._delay > 0:
+                assert self._sim is not None
+                self._sim.schedule(self._delay, self._deliver, w, ev)
+            else:
+                self._deliver(w, ev)
+
+    @staticmethod
+    def _deliver(w: Watch, ev: WatchEvent) -> None:
+        if not w.cancelled:
+            w.delivered += 1
+            w.fn(ev)

@@ -1,0 +1,80 @@
+"""CLI: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro.experiments table1
+    python -m repro.experiments fig4
+    python -m repro.experiments fig5
+    python -m repro.experiments fig6
+    python -m repro.experiments fig7
+    python -m repro.experiments all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .fig4 import format_fig4, headline_reductions, run_fig4
+from .fig5 import format_fig5
+from .fig6 import format_fig6
+from .fig7 import format_fig7, run_fig7
+from .table1 import format_table1, table1_from_paper
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments", description="Regenerate the paper's tables and figures"
+    )
+    parser.add_argument(
+        "target",
+        choices=["table1", "fig4", "fig5", "fig6", "fig7", "ablations", "all"],
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.target == "table1":
+        print(format_table1(table1_from_paper()))
+        return 0
+
+    if args.target in ("fig4", "fig5", "fig6", "all"):
+        from dataclasses import replace
+
+        from .runner import ExperimentConfig
+
+        base = replace(ExperimentConfig(), seed=args.seed)
+        grid = run_fig4(base=base)
+        if args.target in ("fig4", "all"):
+            print(format_fig4(grid))
+            print()
+            for key, value in headline_reductions(grid).items():
+                print(f"  {key}: {value:.2f}%")
+            print()
+        if args.target in ("fig5", "all"):
+            print(format_fig5(grid))
+            print()
+        if args.target in ("fig6", "all"):
+            print(format_fig6(grid))
+            print()
+    if args.target in ("fig7", "all"):
+        print(format_fig7(run_fig7()))
+    if args.target == "ablations":
+        from .ablations import run_belady_bound, run_cache_policy_ablation, run_gpu_scaling
+
+        print("Cache replacement policies under LALBO3 (WS 35):")
+        for rp, s in run_cache_policy_ablation().items():
+            print(f"  {rp:5s} latency={s.avg_latency_s:.3f}s miss={s.cache_miss_ratio:.4f}")
+        print("\nLRU vs offline-optimal (Belady) bound (WS 35):")
+        for name, s in run_belady_bound().items():
+            print(f"  {name:6s} latency={s.avg_latency_s:.3f}s miss={s.cache_miss_ratio:.4f}")
+        print("\nCluster-size scaling (WS 25, 325 req/min):")
+        for gpus, s in sorted(run_gpu_scaling().items()):
+            print(f"  {gpus:2d} GPUs latency={s.avg_latency_s:8.3f}s miss={s.cache_miss_ratio:.4f}")
+    if args.target == "all":
+        print()
+        print(format_table1(table1_from_paper()))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

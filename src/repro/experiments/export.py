@@ -1,0 +1,65 @@
+"""Result export: write experiment summaries and timelines to CSV.
+
+Every figure's data can be saved for external plotting/analysis; columns
+match :meth:`~repro.metrics.summary.RunSummary.row` plus any sweep keys.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping
+
+from ..metrics.summary import RunSummary
+from ..metrics.timeline import TimelineSampler
+
+__all__ = ["write_summaries_csv", "write_timeline_csv", "read_csv_rows"]
+
+
+def write_summaries_csv(
+    path: str | Path,
+    results: Mapping,
+    *,
+    key_names: tuple[str, ...] = ("key",),
+) -> None:
+    """Write a dict of sweep-key → :class:`RunSummary` as CSV.
+
+    Tuple keys map onto ``key_names`` column-wise, e.g. the Fig. 4 grid's
+    ``(policy, working_set)`` keys with ``key_names=("policy", "ws")``.
+    """
+    if not results:
+        raise ValueError("nothing to export")
+    path = Path(path)
+    rows = []
+    for key, summary in results.items():
+        if not isinstance(summary, RunSummary):
+            raise TypeError(f"value for {key!r} is not a RunSummary")
+        key_tuple = key if isinstance(key, tuple) else (key,)
+        if len(key_tuple) != len(key_names):
+            raise ValueError(
+                f"key {key!r} has {len(key_tuple)} parts but key_names has {len(key_names)}"
+            )
+        # sweep-key columns win on collision (e.g. a "policy" key overrides
+        # the summary's decorated policy label)
+        rows.append(summary.row() | dict(zip(key_names, key_tuple)))
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(rows[0]))
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def write_timeline_csv(path: str | Path, sampler: TimelineSampler) -> None:
+    """Write a :class:`TimelineSampler`'s samples as CSV."""
+    rows = sampler.to_rows()
+    if not rows:
+        raise ValueError("sampler has no samples")
+    with Path(path).open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(rows[0]))
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def read_csv_rows(path: str | Path) -> list[dict[str, str]]:
+    """Read back an exported CSV (stringly-typed, for verification)."""
+    with Path(path).open(newline="") as fh:
+        return list(csv.DictReader(fh))

@@ -1,0 +1,57 @@
+"""Figure 4: average latency (a), cache miss ratio (b), SM utilization (c).
+
+Comparative analysis of LB / LALB / LALBO3 across working sets 15/25/35 on
+the paper testbed (12 GPUs, 325 requests/minute, 6 minutes of the Azure
+trace).
+"""
+
+from __future__ import annotations
+
+from ..metrics.summary import RunSummary
+from .report import format_table, reduction_pct
+from .runner import PAPER_POLICIES, run_policy_grid
+
+__all__ = ["run_fig4", "format_fig4", "headline_reductions"]
+
+
+def run_fig4(
+    working_sets: tuple[int, ...] = (15, 25, 35), **kwargs
+) -> dict[tuple[str, int], RunSummary]:
+    """The shared sweep (also feeds Figs. 5 and 6)."""
+    return run_policy_grid(working_sets, PAPER_POLICIES, **kwargs)
+
+
+def format_fig4(results: dict[tuple[str, int], RunSummary]) -> str:
+    """Three sub-figures as one table per metric."""
+    working_sets = sorted({ws for _, ws in results})
+    blocks = []
+    for title, attr in (
+        ("Figure 4a: average function latency (s)", "avg_latency_s"),
+        ("Figure 4b: cache miss ratio", "cache_miss_ratio"),
+        ("Figure 4c: GPU (SM) utilization", "sm_utilization"),
+    ):
+        rows = []
+        for policy in PAPER_POLICIES:
+            row: list = [policy.upper()]
+            for ws in working_sets:
+                row.append(round(getattr(results[(policy, ws)], attr), 4))
+            rows.append(row)
+        table = format_table(["scheduler"] + [f"WS={ws}" for ws in working_sets], rows)
+        blocks.append(f"{title}\n{table}")
+    return "\n\n".join(blocks)
+
+
+def headline_reductions(results: dict[tuple[str, int], RunSummary]) -> dict[str, float]:
+    """The §V-B headline numbers: reductions of LALB/LALBO3 vs. LB."""
+    out: dict[str, float] = {}
+    for ws in sorted({w for _, w in results}):
+        lb = results[("lb", ws)]
+        for policy in ("lalb", "lalbo3"):
+            s = results[(policy, ws)]
+            out[f"{policy}_latency_reduction_ws{ws}"] = reduction_pct(
+                lb.avg_latency_s, s.avg_latency_s
+            )
+            out[f"{policy}_miss_reduction_ws{ws}"] = reduction_pct(
+                lb.cache_miss_ratio, s.cache_miss_ratio
+            )
+    return out

@@ -1,0 +1,41 @@
+"""Figure 5: false miss ratio.
+
+A false miss is "a cache miss scenario ... where the request is forwarded
+to a GPU as a cache miss even though the requested model is cached on
+another GPU" (§V-D).  We report the fraction of *requests* that were false
+misses (``false_miss_ratio``), plus the share of misses that were false
+(``false_per_miss``) — the latter matches the magnitudes in the paper's
+figure more closely and both orderings agree.
+"""
+
+from __future__ import annotations
+
+from ..metrics.summary import RunSummary
+from .report import format_table
+from .runner import PAPER_POLICIES, run_policy_grid
+
+__all__ = ["run_fig5", "format_fig5", "false_per_miss"]
+
+
+def run_fig5(working_sets: tuple[int, ...] = (15, 25, 35), **kwargs):
+    return run_policy_grid(working_sets, PAPER_POLICIES, **kwargs)
+
+
+def false_per_miss(summary: RunSummary) -> float:
+    """False misses as a fraction of all misses (0 when there are no misses)."""
+    if summary.cache_miss_ratio == 0:
+        return 0.0
+    return summary.false_miss_ratio / summary.cache_miss_ratio
+
+
+def format_fig5(results: dict[tuple[str, int], RunSummary]) -> str:
+    working_sets = sorted({ws for _, ws in results})
+    rows = []
+    for policy in PAPER_POLICIES:
+        row: list = [policy.upper()]
+        for ws in working_sets:
+            s = results[(policy, ws)]
+            row.append(f"{s.false_miss_ratio:.4f} ({false_per_miss(s):.2f}/miss)")
+        rows.append(row)
+    table = format_table(["scheduler"] + [f"WS={ws}" for ws in working_sets], rows)
+    return f"Figure 5: false miss ratio\n{table}"

@@ -1,0 +1,31 @@
+"""Figure 6: average number of duplicates of the top-1 model.
+
+"The average number of duplicates is collected by tracking the total number
+of GPUs that has the most popular model cached at the same time during the
+experiment" (§V-D) — a time-weighted average, bounded above by the 12 GPUs
+of the testbed.
+"""
+
+from __future__ import annotations
+
+from ..metrics.summary import RunSummary
+from .report import format_table
+from .runner import PAPER_POLICIES, run_policy_grid
+
+__all__ = ["run_fig6", "format_fig6"]
+
+
+def run_fig6(working_sets: tuple[int, ...] = (15, 25, 35), **kwargs):
+    return run_policy_grid(working_sets, PAPER_POLICIES, **kwargs)
+
+
+def format_fig6(results: dict[tuple[str, int], RunSummary]) -> str:
+    working_sets = sorted({ws for _, ws in results})
+    rows = []
+    for policy in PAPER_POLICIES:
+        row: list = [policy.upper()]
+        for ws in working_sets:
+            row.append(round(results[(policy, ws)].avg_duplicates_top_model, 2))
+        rows.append(row)
+    table = format_table(["scheduler"] + [f"WS={ws}" for ws in working_sets], rows)
+    return f"Figure 6: average duplicates of the top-1 model\n{table}"

@@ -1,0 +1,111 @@
+"""Gateway-level workload replay: the full Fig. 2 path at trace scale.
+
+The main experiment runner submits :class:`InferenceRequest` objects
+straight to the Scheduler — that is what the paper measures (function
+latency excludes container management, which both schedulers share).  This
+module replays the same workload through the *entire* FaaS front-end
+instead: every workload function is registered via the Gateway (Dockerfile
+flag parsing, ML-API interception, container pools, Watchdog), and every
+trace invocation becomes a Gateway call.
+
+Useful for end-to-end validation (the scheduler-level and gateway-level
+runs must agree on cache behaviour) and for studying FaaS-layer overheads
+(cold starts, container contention) that the paper factors out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..faas.gateway import Gateway
+from ..faas.spec import FunctionSpec
+from ..faas.watchdog import Invocation
+from ..runtime.config import SystemConfig
+from ..runtime.system import FaaSCluster
+from ..traces.azure import SyntheticAzureTrace
+from ..traces.workload import Workload, WorkloadSpec, assign_architectures, build_workload
+
+__all__ = ["GatewayReplay", "replay_through_gateway"]
+
+
+@dataclass
+class GatewayReplay:
+    """Results of a gateway-level replay."""
+
+    system: FaaSCluster
+    gateway: Gateway
+    workload: Workload
+    invocations: list[Invocation] = field(default_factory=list)
+
+    @property
+    def completed_invocations(self) -> list[Invocation]:
+        return [inv for inv in self.invocations if inv.completed_at is not None]
+
+    def avg_invocation_latency(self) -> float:
+        done = self.completed_invocations
+        if not done:
+            raise ValueError("no completed invocations")
+        return float(np.mean([inv.latency for inv in done]))
+
+    def avg_gpu_latency(self) -> float:
+        """Scheduler-visible latency (excludes container/Watchdog overhead)."""
+        reqs = self.system.completed
+        if not reqs:
+            raise ValueError("no completed GPU requests")
+        return float(np.mean([r.latency for r in reqs]))
+
+    def faas_overhead(self) -> float:
+        """Mean per-invocation overhead added by the FaaS layer."""
+        return self.avg_invocation_latency() - self.avg_gpu_latency()
+
+    def cache_miss_ratio(self) -> float:
+        reqs = self.system.completed
+        return sum(1 for r in reqs if r.cache_hit is False) / len(reqs)
+
+
+def replay_through_gateway(
+    spec: WorkloadSpec | None = None,
+    *,
+    config: SystemConfig | None = None,
+    trace: SyntheticAzureTrace | None = None,
+    max_replicas: int = 32,
+    warmup_s: float = 5.0,
+) -> GatewayReplay:
+    """Register the workload's functions and replay its invocations.
+
+    Containers are pre-built during ``warmup_s`` (registration pays the
+    image build once, as in a real deployment); invocation arrival times
+    are shifted by the warm-up so the GPU-side workload matches the paper's
+    timing.
+    """
+    spec = spec or WorkloadSpec()
+    trace = trace or SyntheticAzureTrace()
+    workload = build_workload(spec, trace=trace)
+    system = FaaSCluster(config or SystemConfig())
+    gateway = Gateway(system)
+
+    arch_of = assign_architectures(workload.function_ids)
+    for fid in workload.function_ids:
+        fn = gateway.register(
+            FunctionSpec(
+                name=fid,
+                model_architecture=arch_of[fid],
+                max_replicas=max_replicas,
+            )
+        )
+        # the gateway minted its own model instance; align the workload's
+        # cache-item identity with it so per-function caching matches
+        workload.instances[fid] = fn.model_handle.instance
+    system.run(until=warmup_s)  # image builds + first replicas
+
+    replay = GatewayReplay(system=system, gateway=gateway, workload=workload)
+
+    def fire(fid: str) -> None:
+        replay.invocations.append(gateway.invoke(fid))
+
+    for request in workload.requests:
+        system.sim.schedule_at(warmup_s + request.arrival_time, fire, request.function_name)
+    system.run()
+    return replay

@@ -1,0 +1,39 @@
+"""Report formatting: ASCII tables and paper-style comparisons."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "reduction_pct", "format_reduction"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Fixed-width ASCII table (right-aligned numerics, left-aligned text)."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def line(parts: Sequence[str]) -> str:
+        return "  ".join(p.rjust(w) for p, w in zip(parts, widths))
+
+    sep = "  ".join("-" * w for w in widths)
+    return "\n".join([line(list(headers)), sep] + [line(r) for r in cells])
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def reduction_pct(baseline: float, improved: float) -> float:
+    """Percentage reduction relative to a baseline (the paper's headline
+    comparison form, e.g. "reduces the average latency ... by 97%")."""
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return 100.0 * (baseline - improved) / baseline
+
+
+def format_reduction(metric: str, baseline: float, improved: float) -> str:
+    return f"{metric}: {baseline:.4g} -> {improved:.4g} ({reduction_pct(baseline, improved):.1f}% reduction)"

@@ -1,0 +1,69 @@
+"""Multi-seed experiment replication: means and spreads across seeds.
+
+The paper reports single-trace numbers; for the reproduction we also
+quantify how stable each metric is under workload resampling (different
+per-minute shuffles and function draws), which is what the seed governs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..traces.azure import SyntheticAzureTrace
+from .runner import ExperimentConfig, run_experiment
+
+__all__ = ["MetricSpread", "run_multi_seed"]
+
+
+@dataclass(frozen=True)
+class MetricSpread:
+    """Mean ± standard deviation of one metric across seeds."""
+
+    metric: str
+    mean: float
+    std: float
+    values: tuple[float, ...]
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (std / mean); 0 when mean is 0."""
+        return self.std / self.mean if self.mean else 0.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.metric}: {self.mean:.4g} ± {self.std:.2g}"
+
+
+_METRICS = (
+    "avg_latency_s",
+    "cache_miss_ratio",
+    "sm_utilization",
+    "false_miss_ratio",
+    "avg_duplicates_top_model",
+)
+
+
+def run_multi_seed(
+    config: ExperimentConfig,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    *,
+    trace: SyntheticAzureTrace | None = None,
+) -> dict[str, MetricSpread]:
+    """Run ``config`` once per seed and aggregate each headline metric."""
+    if len(seeds) < 2:
+        raise ValueError("need at least two seeds for a spread")
+    trace = trace or SyntheticAzureTrace()
+    summaries = [
+        run_experiment(replace(config, seed=seed), trace=trace) for seed in seeds
+    ]
+    out: dict[str, MetricSpread] = {}
+    for metric in _METRICS:
+        values = tuple(float(getattr(s, metric)) for s in summaries)
+        out[metric] = MetricSpread(
+            metric=metric,
+            mean=float(np.mean(values)),
+            std=float(np.std(values)),
+            values=values,
+        )
+    return out

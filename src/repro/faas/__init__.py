@@ -1,0 +1,32 @@
+"""OpenFaaS-like FaaS framework substrate: Gateway, Watchdog, containers,
+autoscaler, and the intercepted ML API for GPU-enabled functions."""
+
+from .autoscaler import Autoscaler
+from .container import Container, ContainerPool, ContainerState
+from .gateway import FunctionNotFound, Gateway, RegisteredFunction
+from .interceptor import GPUModelHandle, InterceptedMLAPI
+from .namespaces import Namespace, NamespaceError, NamespaceManager, NamespaceView
+from .spec import Dockerfile, FunctionSpec, default_template
+from .watchdog import Invocation, InvocationStatus, Watchdog
+
+__all__ = [
+    "Autoscaler",
+    "Container",
+    "ContainerPool",
+    "ContainerState",
+    "FunctionNotFound",
+    "Gateway",
+    "RegisteredFunction",
+    "GPUModelHandle",
+    "InterceptedMLAPI",
+    "Namespace",
+    "NamespaceError",
+    "NamespaceManager",
+    "NamespaceView",
+    "Dockerfile",
+    "FunctionSpec",
+    "default_template",
+    "Invocation",
+    "InvocationStatus",
+    "Watchdog",
+]

@@ -1,0 +1,70 @@
+"""Demand-driven function autoscaling.
+
+§II-A: the Datastore "can also be configured to trigger function scaling
+actions through the Gateway when the demand for the functions changes
+dynamically."  This autoscaler polls each function's recent invocation
+arrivals and scales its container pool toward a target per-replica
+concurrency, bounded by the spec's min/max replicas.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+
+from ..sim import PeriodicTimer, Simulator
+from .gateway import Gateway
+
+__all__ = ["Autoscaler"]
+
+
+class Autoscaler:
+    """Periodic replica controller over all registered functions."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        gateway: Gateway,
+        *,
+        period_s: float = 10.0,
+        target_per_replica: float = 50.0,
+        window_s: float = 30.0,
+    ) -> None:
+        """``target_per_replica`` is the invocation budget one replica should
+        absorb per ``window_s`` sliding window; replicas scale to demand/budget."""
+        if target_per_replica <= 0 or window_s <= 0:
+            raise ValueError("target_per_replica and window_s must be positive")
+        self.sim = sim
+        self.gateway = gateway
+        self.target_per_replica = target_per_replica
+        self.window_s = window_s
+        self._timer = PeriodicTimer(sim, period_s, self.tick)
+        self._last_counts: dict[str, int] = defaultdict(int)
+        self._arrivals: dict[str, deque[tuple[float, int]]] = defaultdict(deque)
+        self.decisions: list[tuple[float, str, int]] = []  # (time, fn, replicas)
+
+    def start(self) -> None:
+        self._timer.start()
+
+    def stop(self) -> None:
+        self._timer.stop()
+
+    # ------------------------------------------------------------------
+    def tick(self) -> None:
+        """One scaling pass over every function."""
+        now = self.sim.now
+        for name in self.gateway.list_functions():
+            fn = self.gateway.get(name)
+            if not fn.pool.built:
+                continue
+            new = fn.invocations - self._last_counts[name]
+            self._last_counts[name] = fn.invocations
+            window = self._arrivals[name]
+            window.append((now, new))
+            while window and window[0][0] < now - self.window_s:
+                window.popleft()
+            demand = sum(n for _, n in window)  # arrivals within the window
+            want = max(1, -(-demand // int(self.target_per_replica)))  # ceil div
+            want = max(fn.spec.min_replicas, min(int(want), fn.spec.max_replicas))
+            if want != fn.pool.replica_count():
+                fn.pool.scale_to(want)
+                self.decisions.append((now, name, want))

@@ -1,0 +1,128 @@
+"""Multi-namespace support (paper §VI, "Multi-tenancy and Security").
+
+"OpenFaaS Pro has support for multiple namespaces, which in combination
+with its security features, can provide logical segregation of groups of
+functions belonging to different tenants."
+
+A :class:`NamespaceManager` partitions one Gateway into named namespaces.
+Each namespace belongs to a tenant; functions registered through a
+:class:`NamespaceView` are automatically name-prefixed, tagged with the
+namespace's tenant (so the :class:`~repro.core.tenancy.TenancyController`
+quotas apply), and invisible to other namespaces' views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .gateway import FunctionNotFound, Gateway, RegisteredFunction
+from .spec import FunctionSpec
+from .watchdog import Invocation
+
+__all__ = ["Namespace", "NamespaceView", "NamespaceManager", "NamespaceError"]
+
+_SEP = "."
+
+
+class NamespaceError(PermissionError):
+    """Cross-namespace access or namespace misuse."""
+
+
+@dataclass(frozen=True)
+class Namespace:
+    """A named, tenant-owned segment of the platform."""
+
+    name: str
+    tenant: str
+
+    def __post_init__(self) -> None:
+        if not self.name or _SEP in self.name or "/" in self.name:
+            raise ValueError(f"invalid namespace name {self.name!r}")
+
+    def qualify(self, function_name: str) -> str:
+        return f"{self.name}{_SEP}{function_name}"
+
+
+class NamespaceView:
+    """A tenant's handle on its namespace: scoped CRUD + invoke."""
+
+    def __init__(self, manager: "NamespaceManager", namespace: Namespace) -> None:
+        self._manager = manager
+        self.namespace = namespace
+
+    # -- scoped CRUD ------------------------------------------------------
+    def register(self, spec: FunctionSpec) -> RegisteredFunction:
+        """Register inside the namespace; the spec's tenant is forced to the
+        namespace owner so quota accounting cannot be spoofed."""
+        scoped = replace(
+            spec, name=self.namespace.qualify(spec.name), tenant=self.namespace.tenant
+        )
+        return self._manager.gateway.register(scoped)
+
+    def list_functions(self) -> list[str]:
+        prefix = self.namespace.name + _SEP
+        return [
+            name[len(prefix):]
+            for name in self._manager.gateway.list_functions()
+            if name.startswith(prefix)
+        ]
+
+    def delete(self, function_name: str) -> None:
+        self._manager.gateway.delete(self._qualified(function_name))
+
+    # -- scoped invocation --------------------------------------------------
+    def invoke(self, function_name: str, payload=None, *, on_response=None) -> Invocation:
+        return self._manager.gateway.invoke(
+            self._qualified(function_name), payload, on_response=on_response
+        )
+
+    def _qualified(self, function_name: str) -> str:
+        if _SEP in function_name:
+            raise NamespaceError(
+                f"{function_name!r}: cross-namespace access is not allowed; "
+                "use your own namespace's short function names"
+            )
+        qualified = self.namespace.qualify(function_name)
+        try:
+            self._manager.gateway.get(qualified)
+        except FunctionNotFound:
+            raise FunctionNotFound(function_name) from None
+        return qualified
+
+
+class NamespaceManager:
+    """Creates namespaces and hands out tenant-scoped views."""
+
+    def __init__(self, gateway: Gateway) -> None:
+        self.gateway = gateway
+        self._namespaces: dict[str, Namespace] = {}
+
+    def create(self, name: str, *, tenant: str) -> NamespaceView:
+        if name in self._namespaces:
+            raise ValueError(f"namespace {name!r} already exists")
+        ns = Namespace(name=name, tenant=tenant)
+        self._namespaces[name] = ns
+        self.gateway.system.datastore.client().put(
+            f"ns/meta/{name}", {"tenant": tenant}
+        )
+        return NamespaceView(self, ns)
+
+    def view(self, name: str, *, tenant: str) -> NamespaceView:
+        """Re-obtain a view; the caller must present the owning tenant."""
+        ns = self._namespaces.get(name)
+        if ns is None:
+            raise KeyError(f"unknown namespace {name!r}")
+        if ns.tenant != tenant:
+            raise NamespaceError(f"namespace {name!r} does not belong to {tenant!r}")
+        return NamespaceView(self, ns)
+
+    def list_namespaces(self) -> list[str]:
+        return sorted(self._namespaces)
+
+    def delete(self, name: str, *, tenant: str) -> None:
+        """Delete a namespace and every function in it."""
+        view = self.view(name, tenant=tenant)
+        for fn in view.list_functions():
+            view.delete(fn)
+        del self._namespaces[name]
+        self.gateway.system.datastore.client().delete(f"ns/meta/{name}")

@@ -1,0 +1,135 @@
+"""Function specifications and Dockerfile parsing.
+
+§III-A: "The end-user can include a GPU-enable flag in the Dockerfile of
+the function when registering the function using the Gateway.  The Gateway
+checks the GPU-enable flag in the Dockerfile and replaces the interface
+that the function uses for loading and running a model with a customized
+interface that redirects those requests to the GPU Manager."
+
+We model the Dockerfile as text in the standard format; the GPU-enable flag
+is either ``ENV GPU_ENABLE=1`` (truthy values: 1/true/yes/on) or
+``LABEL com.faas.gpu="true"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Dockerfile", "FunctionSpec", "default_template"]
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+@dataclass(frozen=True)
+class Dockerfile:
+    """A parsed Dockerfile: base image, env, labels, and build steps."""
+
+    base_image: str
+    env: dict[str, str]
+    labels: dict[str, str]
+    steps: tuple[str, ...]  # RUN/COPY/etc. lines, kept for the build log
+
+    @staticmethod
+    def parse(text: str) -> "Dockerfile":
+        base = ""
+        env: dict[str, str] = {}
+        labels: dict[str, str] = {}
+        steps: list[str] = []
+        for raw in text.splitlines():
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            op, _, rest = line.partition(" ")
+            op = op.upper()
+            rest = rest.strip()
+            if op == "FROM":
+                base = rest
+            elif op in ("ENV", "LABEL"):
+                target = env if op == "ENV" else labels
+                for key, value in _parse_pairs(rest):
+                    target[key] = value
+            else:
+                steps.append(line)
+        if not base:
+            raise ValueError("Dockerfile has no FROM line")
+        return Dockerfile(base_image=base, env=env, labels=labels, steps=tuple(steps))
+
+    @property
+    def gpu_enabled(self) -> bool:
+        """The paper's GPU-enable flag."""
+        env_flag = self.env.get("GPU_ENABLE", "").lower() in _TRUTHY
+        label_flag = self.labels.get("com.faas.gpu", "").strip('"').lower() in _TRUTHY
+        return env_flag or label_flag
+
+
+def _parse_pairs(rest: str) -> list[tuple[str, str]]:
+    """Parse ``k=v k2="v2"`` pairs (also the legacy ``ENV key value`` form)."""
+    if "=" not in rest:
+        key, _, value = rest.partition(" ")
+        return [(key, value.strip())] if key else []
+    pairs = []
+    for token in rest.split():
+        if "=" in token:
+            key, _, value = token.partition("=")
+            pairs.append((key, value.strip('"')))
+    return pairs
+
+
+def default_template(gpu: bool = True) -> str:
+    """The code template the platform hands to end-users (§II-A)."""
+    gpu_line = "ENV GPU_ENABLE=1\n" if gpu else ""
+    return (
+        "FROM faas/python3-ml:latest\n"
+        f"{gpu_line}"
+        "COPY handler.py /app/handler.py\n"
+        "RUN pip install -r requirements.txt\n"
+    )
+
+
+@dataclass
+class FunctionSpec:
+    """A deployable FaaS function.
+
+    ML-inference functions declare the model architecture they serve;
+    at registration the Gateway mints the function's private
+    :class:`~repro.models.ModelInstance` (its own weights → its own cache
+    item).  ``preprocess`` / ``postprocess`` run on the function container
+    around the GPU call (e.g. image decode, label mapping).
+    """
+
+    name: str
+    dockerfile: str = field(default_factory=default_template)
+    model_architecture: str | None = None
+    tenant: str = "default"
+    batch_size: int = 32
+    preprocess: Callable[[Any], Any] | None = None
+    postprocess: Callable[[Any], Any] | None = None
+    #: simulated CPU cost of the handler outside the GPU call
+    handler_time_s: float = 0.0
+    #: plain (non-ML) functions: the handler itself plus its CPU time
+    handler: Callable[[Any], Any] | None = None
+    min_replicas: int = 1
+    max_replicas: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.name or "/" in self.name:
+            raise ValueError("function name must be non-empty and slash-free")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.handler_time_s < 0:
+            raise ValueError("handler_time_s cannot be negative")
+        if self.min_replicas < 0 or self.max_replicas < max(self.min_replicas, 1):
+            raise ValueError("invalid replica bounds")
+
+    @property
+    def parsed_dockerfile(self) -> Dockerfile:
+        return Dockerfile.parse(self.dockerfile)
+
+    @property
+    def gpu_enabled(self) -> bool:
+        return self.parsed_dockerfile.gpu_enabled
+
+    @property
+    def is_inference(self) -> bool:
+        return self.model_architecture is not None

@@ -1,0 +1,13 @@
+"""Metrics: per-run collection and the paper's evaluation summaries."""
+
+from .collector import MetricsCollector
+from .summary import RunSummary, summarize
+from .timeline import TimelineSample, TimelineSampler
+
+__all__ = [
+    "MetricsCollector",
+    "RunSummary",
+    "summarize",
+    "TimelineSample",
+    "TimelineSampler",
+]

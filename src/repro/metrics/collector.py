@@ -1,0 +1,91 @@
+"""Metrics collection for experiment runs.
+
+The collector observes two event streams:
+
+* completed requests (from the GPU Managers) — latency, hit/miss,
+  false-miss outcomes;
+* cache events (from the Cache Manager) — load/evict transitions, from
+  which it integrates the *time-weighted* number of GPUs caching each
+  model, the quantity behind Fig. 6's "average number of duplicates of the
+  top one model".
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..core.request import InferenceRequest
+from ..sim import Simulator
+
+__all__ = ["MetricsCollector"]
+
+
+class MetricsCollector:
+    """Accumulates per-request and cache-residency statistics."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.completed: list[InferenceRequest] = []
+        self.started_at = sim.now
+        # duplicates tracking: current residency count and its time integral
+        self._dup_count: dict[str, int] = defaultdict(int)
+        self._dup_integral: dict[str, float] = defaultdict(float)
+        self._dup_since: dict[str, float] = {}
+        self._dup_peak: dict[str, int] = defaultdict(int)
+        self.cache_events: int = 0
+
+    # ------------------------------------------------------------------
+    # Observers
+    # ------------------------------------------------------------------
+    def on_complete(self, request: InferenceRequest) -> None:
+        if request.completed_at is None:
+            raise ValueError(f"request {request.request_id} has not completed")
+        self.completed.append(request)
+
+    def on_cache_event(self, kind: str, gpu_id: str, model_id: str, now: float) -> None:
+        self.cache_events += 1
+        if kind == "load":
+            self._advance(model_id, now)
+            self._dup_count[model_id] += 1
+            self._dup_peak[model_id] = max(self._dup_peak[model_id], self._dup_count[model_id])
+        elif kind == "evict":
+            self._advance(model_id, now)
+            self._dup_count[model_id] -= 1
+            if self._dup_count[model_id] < 0:
+                raise RuntimeError(f"negative residency for {model_id}")
+        # "use" events do not change residency
+
+    def _advance(self, model_id: str, now: float) -> None:
+        since = self._dup_since.get(model_id, self.started_at)
+        self._dup_integral[model_id] += self._dup_count[model_id] * (now - since)
+        self._dup_since[model_id] = now
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def average_duplicates(self, model_id: str, horizon: float | None = None) -> float:
+        """Time-averaged number of GPUs caching ``model_id`` (Fig. 6)."""
+        end = horizon if horizon is not None else self.sim.now
+        duration = end - self.started_at
+        if duration <= 0:
+            return 0.0
+        since = self._dup_since.get(model_id, self.started_at)
+        integral = self._dup_integral.get(model_id, 0.0)
+        integral += self._dup_count.get(model_id, 0) * (end - since)
+        return integral / duration
+
+    def peak_duplicates(self, model_id: str) -> int:
+        return self._dup_peak.get(model_id, 0)
+
+    def current_duplicates(self, model_id: str) -> int:
+        return self._dup_count.get(model_id, 0)
+
+    def most_invoked_model(self) -> str | None:
+        """Model instance with the most completed invocations (the "top one
+        model" of Fig. 6)."""
+        counts: dict[str, int] = defaultdict(int)
+        for req in self.completed:
+            counts[req.model_id] += 1
+        if not counts:
+            return None
+        return max(sorted(counts), key=lambda m: counts[m])

@@ -1,0 +1,134 @@
+"""Summary statistics: the paper's evaluation metrics (§V).
+
+Three headline metrics (§V-A): average function latency, cache miss ratio,
+and GPU (SM) utilization; plus the efficiency metrics of §V-D (false miss
+ratio, average duplicates of the hottest model) and the latency variance
+examined in the O3 sensitivity study (§V-E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.topology import Cluster
+from ..core.request import InferenceRequest
+from .collector import MetricsCollector
+
+__all__ = ["RunSummary", "summarize"]
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """All evaluation metrics for one experiment run."""
+
+    policy: str
+    working_set: int
+    completed_requests: int
+    avg_latency_s: float          # Fig. 4a
+    latency_variance: float       # §V-E variance claim
+    p50_latency_s: float
+    p99_latency_s: float
+    cache_miss_ratio: float       # Fig. 4b
+    sm_utilization: float         # Fig. 4c (mean over GPUs)
+    false_miss_ratio: float       # Fig. 5
+    avg_duplicates_top_model: float  # Fig. 6
+    top_model: str | None
+    avg_queueing_s: float
+    horizon_s: float
+    #: fraction of SLA-carrying requests that missed their deadline
+    #: (0.0 when the workload carries no SLAs)
+    sla_violation_ratio: float = 0.0
+
+    def row(self) -> dict[str, float | str | int | None]:
+        """Flat dict for report tables."""
+        return {
+            "policy": self.policy,
+            "working_set": self.working_set,
+            "completed": self.completed_requests,
+            "avg_latency_s": round(self.avg_latency_s, 3),
+            "latency_var": round(self.latency_variance, 3),
+            "p50_s": round(self.p50_latency_s, 3),
+            "p99_s": round(self.p99_latency_s, 3),
+            "miss_ratio": round(self.cache_miss_ratio, 4),
+            "sm_util": round(self.sm_utilization, 4),
+            "false_miss_ratio": round(self.false_miss_ratio, 4),
+            "avg_dups_top1": round(self.avg_duplicates_top_model, 3),
+        }
+
+
+def _latencies(requests: list[InferenceRequest]) -> np.ndarray:
+    return np.array([r.latency for r in requests], dtype=float)
+
+
+def per_architecture_breakdown(collector: MetricsCollector) -> dict[str, dict[str, float]]:
+    """Per-architecture statistics: count, mean latency, miss ratio.
+
+    Big models (vgg19) pay more per miss than small ones (squeezenet), so
+    the breakdown shows where the locality wins come from.
+    """
+    groups: dict[str, list[InferenceRequest]] = {}
+    for r in collector.completed:
+        groups.setdefault(r.model.architecture, []).append(r)
+    out: dict[str, dict[str, float]] = {}
+    for arch, reqs in sorted(groups.items()):
+        lat = _latencies(reqs)
+        misses = sum(1 for r in reqs if r.cache_hit is False)
+        out[arch] = {
+            "count": float(len(reqs)),
+            "avg_latency_s": float(lat.mean()),
+            "p99_latency_s": float(np.percentile(lat, 99)),
+            "miss_ratio": misses / len(reqs),
+        }
+    return out
+
+
+def summarize(
+    collector: MetricsCollector,
+    cluster: Cluster,
+    *,
+    policy: str = "?",
+    working_set: int = 0,
+    horizon: float | None = None,
+    top_model: str | None = None,
+) -> RunSummary:
+    """Compute the full metric set from a finished run.
+
+    ``top_model`` defaults to the most-invoked model instance; pass it
+    explicitly when the workload's hottest function is known a priori.
+    ``horizon`` defaults to the collector's current simulated time.
+    """
+    reqs = collector.completed
+    end = horizon if horizon is not None else collector.sim.now
+    duration = max(end - collector.started_at, 1e-12)
+    if not reqs:
+        raise ValueError("no completed requests to summarize")
+    lat = _latencies(reqs)
+    misses = sum(1 for r in reqs if r.cache_hit is False)
+    false_misses = sum(1 for r in reqs if r.false_miss)
+    top = top_model if top_model is not None else collector.most_invoked_model()
+    sm = float(np.mean([g.sm_utilization(horizon=duration) for g in cluster.gpus]))
+    with_sla = [r for r in reqs if r.sla_s is not None]
+    sla_violations = (
+        sum(1 for r in with_sla if not r.met_sla) / len(with_sla) if with_sla else 0.0
+    )
+    return RunSummary(
+        policy=policy,
+        working_set=working_set,
+        completed_requests=len(reqs),
+        avg_latency_s=float(lat.mean()),
+        latency_variance=float(lat.var(ddof=0)),
+        p50_latency_s=float(np.percentile(lat, 50)),
+        p99_latency_s=float(np.percentile(lat, 99)),
+        cache_miss_ratio=misses / len(reqs),
+        sm_utilization=sm,
+        false_miss_ratio=false_misses / len(reqs),
+        avg_duplicates_top_model=(
+            collector.average_duplicates(top, horizon=end) if top is not None else 0.0
+        ),
+        top_model=top,
+        avg_queueing_s=float(np.mean([r.queueing_delay for r in reqs])),
+        horizon_s=duration,
+        sla_violation_ratio=sla_violations,
+    )

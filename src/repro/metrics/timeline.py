@@ -1,0 +1,111 @@
+"""Timeline sampling: time-series views of a running experiment.
+
+The paper's figures report end-of-run aggregates; operators of the real
+system also need the *evolution* — queue depths, instantaneous GPU states,
+per-interval cache hit rates.  :class:`TimelineSampler` snapshots the
+system on a fixed period (simulated time) and exposes the series as NumPy
+arrays ready for plotting or CSV export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.gpu import GPUState
+from ..sim import PeriodicTimer
+
+__all__ = ["TimelineSample", "TimelineSampler"]
+
+
+@dataclass(frozen=True)
+class TimelineSample:
+    """One snapshot of system state."""
+
+    time_s: float
+    global_queue_depth: int
+    local_queue_depth: int
+    gpus_idle: int
+    gpus_loading: int
+    gpus_inferring: int
+    completed_requests: int
+    cumulative_misses: int
+
+
+class TimelineSampler:
+    """Periodic sampler over a :class:`~repro.runtime.system.FaaSCluster`.
+
+    >>> from repro.runtime import FaaSCluster, SystemConfig
+    >>> system = FaaSCluster(SystemConfig())
+    >>> sampler = TimelineSampler(system, period_s=10.0)
+    >>> sampler.start()
+    >>> system.run(until=30.0)
+    >>> len(sampler.samples)
+    3
+    >>> sampler.stop()
+    """
+
+    def __init__(self, system, *, period_s: float = 5.0) -> None:
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        self.system = system
+        self.period_s = period_s
+        self.samples: list[TimelineSample] = []
+        self._timer = PeriodicTimer(system.sim, period_s, self._snapshot)
+
+    def start(self) -> None:
+        self._timer.start()
+
+    def stop(self) -> None:
+        self._timer.stop()
+
+    # ------------------------------------------------------------------
+    def _snapshot(self) -> None:
+        gpus = self.system.cluster.gpus
+        states = [g.state for g in gpus]
+        completed = self.system.completed
+        self.samples.append(
+            TimelineSample(
+                time_s=self.system.sim.now,
+                global_queue_depth=len(self.system.scheduler.global_queue),
+                local_queue_depth=self.system.scheduler.local_queues.total(),
+                gpus_idle=sum(1 for s in states if s is GPUState.IDLE),
+                gpus_loading=sum(1 for s in states if s is GPUState.LOADING),
+                gpus_inferring=sum(1 for s in states if s is GPUState.INFERRING),
+                completed_requests=len(completed),
+                cumulative_misses=sum(1 for r in completed if r.cache_hit is False),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Series accessors
+    # ------------------------------------------------------------------
+    def series(self, field: str) -> np.ndarray:
+        """One sampled column as a NumPy array (see TimelineSample fields)."""
+        if not self.samples:
+            return np.empty(0)
+        if not hasattr(self.samples[0], field):
+            raise KeyError(f"unknown timeline field {field!r}")
+        return np.array([getattr(s, field) for s in self.samples], dtype=float)
+
+    def instantaneous_sm_utilization(self) -> np.ndarray:
+        """Fraction of GPUs whose SMs were busy at each sample instant."""
+        total = len(self.system.cluster.gpus)
+        return self.series("gpus_inferring") / total
+
+    def interval_miss_ratio(self) -> np.ndarray:
+        """Cache miss ratio within each sampling interval (NaN when idle)."""
+        misses = np.diff(self.series("cumulative_misses"), prepend=0.0)
+        done = np.diff(self.series("completed_requests"), prepend=0.0)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(done > 0, misses / done, np.nan)
+
+    def peak_queue_depth(self) -> int:
+        if not self.samples:
+            return 0
+        return int(self.series("global_queue_depth").max())
+
+    def to_rows(self) -> list[dict]:
+        """Flat dict rows (e.g. for csv.DictWriter)."""
+        return [vars(s) | {} for s in self.samples]

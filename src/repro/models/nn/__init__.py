@@ -1,0 +1,38 @@
+"""NumPy CNN inference engine (forward pass only)."""
+
+from .blocks import AvgPool2D, Dropout, ResidualBlock
+from .factory import FAMILY_SPECS, available_architectures, build_model, build_residual_model
+from .layers import (
+    BatchNorm2D,
+    Conv2D,
+    Flatten,
+    GlobalAvgPool,
+    Layer,
+    Linear,
+    MaxPool2D,
+    ReLU,
+    Softmax,
+    im2col,
+)
+from .network import Network
+
+__all__ = [
+    "AvgPool2D",
+    "Dropout",
+    "ResidualBlock",
+    "FAMILY_SPECS",
+    "available_architectures",
+    "build_model",
+    "build_residual_model",
+    "BatchNorm2D",
+    "Conv2D",
+    "Flatten",
+    "GlobalAvgPool",
+    "Layer",
+    "Linear",
+    "MaxPool2D",
+    "ReLU",
+    "Softmax",
+    "im2col",
+    "Network",
+]

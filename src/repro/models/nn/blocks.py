@@ -1,0 +1,97 @@
+"""Composite building blocks: residual units (ResNet/WideResNet families).
+
+The sequential :class:`~repro.models.nn.network.Network` can host these
+directly — a block is itself a :class:`~repro.models.nn.layers.Layer` whose
+forward runs an internal branch plus a skip connection, mirroring how
+`torchvision`'s ResNet family composes ``BasicBlock``s.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import BatchNorm2D, Conv2D, Layer, ReLU
+
+__all__ = ["ResidualBlock", "Dropout", "AvgPool2D"]
+
+
+class ResidualBlock(Layer):
+    """A basic two-convolution residual unit: ``relu(F(x) + proj(x))``.
+
+    ``F`` is conv3x3 → BN → ReLU → conv3x3 → BN.  When the channel count or
+    stride changes, the skip path applies a 1×1 projection convolution
+    (the standard downsample shortcut); otherwise it is the identity.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        *,
+        stride: int = 1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        rng = rng or np.random.default_rng(0)
+        self.conv1 = Conv2D(in_channels, out_channels, 3, stride=stride, padding=1, rng=rng)
+        self.bn1 = BatchNorm2D(out_channels)
+        self.relu = ReLU()
+        self.conv2 = Conv2D(out_channels, out_channels, 3, padding=1, rng=rng)
+        self.bn2 = BatchNorm2D(out_channels)
+        self.projection: Conv2D | None = None
+        if in_channels != out_channels or stride != 1:
+            self.projection = Conv2D(in_channels, out_channels, 1, stride=stride, rng=rng)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        branch = self.bn2(self.conv2(self.relu(self.bn1(self.conv1(x)))))
+        skip = self.projection(x) if self.projection is not None else x
+        return self.relu(branch + skip)
+
+    @property
+    def num_parameters(self) -> int:
+        total = (
+            self.conv1.num_parameters
+            + self.bn1.num_parameters
+            + self.conv2.num_parameters
+            + self.bn2.num_parameters
+        )
+        if self.projection is not None:
+            total += self.projection.num_parameters
+        return total
+
+
+class Dropout(Layer):
+    """Inference-mode dropout: the identity (weights already rescaled)."""
+
+    def __init__(self, p: float = 0.5) -> None:
+        if not 0.0 <= p < 1.0:
+            raise ValueError("p must be in [0, 1)")
+        self.p = p
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+
+class AvgPool2D(Layer):
+    """Average pooling over k×k windows."""
+
+    def __init__(self, kernel_size: int = 2, stride: int | None = None) -> None:
+        if kernel_size < 1:
+            raise ValueError("kernel_size must be >= 1")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        k, s = self.kernel_size, self.stride
+        out_h = (h - k) // s + 1
+        out_w = (w - k) // s + 1
+        if out_h <= 0 or out_w <= 0:
+            raise ValueError(f"pool {k} does not fit input {h}x{w}")
+        sn, sc, sh, sw = x.strides
+        windows = np.lib.stride_tricks.as_strided(
+            x,
+            shape=(n, c, out_h, out_w, k, k),
+            strides=(sn, sc, sh * s, sw * s, sh, sw),
+            writeable=False,
+        )
+        return windows.mean(axis=(4, 5))

@@ -1,0 +1,202 @@
+"""NumPy inference layers (forward pass only).
+
+This is the stand-in for the PyTorch runtime the paper's GPU processes run:
+a small, fully vectorized CNN inference engine.  Convolution is implemented
+with im2col + a single GEMM — the same structure GPU libraries use, and the
+idiomatic way to make NumPy convolution fast (one big matmul instead of
+Python loops).
+
+Only inference is implemented (the paper targets inference functions, not
+training: §II-C).  All layers take float32/float64 arrays shaped
+``(N, C, H, W)`` for spatial layers and ``(N, F)`` for dense layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Layer",
+    "Conv2D",
+    "ReLU",
+    "MaxPool2D",
+    "GlobalAvgPool",
+    "BatchNorm2D",
+    "Flatten",
+    "Linear",
+    "Softmax",
+    "im2col",
+]
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int, padding: int) -> np.ndarray:
+    """Rearrange sliding windows into columns.
+
+    Input ``(N, C, H, W)`` → output ``(N, C*kh*kw, out_h*out_w)``.  Uses
+    stride tricks (a view, no copy) followed by one reshape, per the
+    vectorize-don't-loop guidance for numerical Python.
+    """
+    n, c, h, w = x.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+        h, w = h + 2 * padding, w + 2 * padding
+    out_h = (h - kh) // stride + 1
+    out_w = (w - kw) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(f"kernel {kh}x{kw} does not fit input {h}x{w}")
+    sn, sc, sh, sw = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kh, kw),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    # (N, C, out_h, out_w, kh, kw) -> (N, C*kh*kw, out_h*out_w)
+    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * kh * kw, out_h * out_w)
+    return np.ascontiguousarray(cols)
+
+
+class Layer:
+    """Base class: a pure function of its input."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    @property
+    def num_parameters(self) -> int:
+        return 0
+
+
+class Conv2D(Layer):
+    """2-D convolution (cross-correlation, like torch.nn.Conv2d)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        *,
+        stride: int = 1,
+        padding: int = 0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if min(in_channels, out_channels, kernel_size, stride) < 1 or padding < 0:
+            raise ValueError("invalid Conv2D hyper-parameters")
+        rng = rng or np.random.default_rng(0)
+        fan_in = in_channels * kernel_size * kernel_size
+        scale = np.sqrt(2.0 / fan_in)  # He init: sensible magnitudes for ReLU nets
+        self.weight = rng.normal(0.0, scale, (out_channels, in_channels, kernel_size, kernel_size))
+        self.bias = np.zeros(out_channels)
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        oc, ic, kh, kw = self.weight.shape
+        if x.ndim != 4 or x.shape[1] != ic:
+            raise ValueError(f"expected (N,{ic},H,W), got {x.shape}")
+        cols = im2col(x, kh, kw, self.stride, self.padding)
+        n = x.shape[0]
+        out_h = (x.shape[2] + 2 * self.padding - kh) // self.stride + 1
+        out_w = (x.shape[3] + 2 * self.padding - kw) // self.stride + 1
+        w2d = self.weight.reshape(oc, ic * kh * kw)
+        out = w2d @ cols  # (N, oc, out_h*out_w) via broadcasting over N
+        out += self.bias[:, None]
+        return out.reshape(n, oc, out_h, out_w)
+
+    @property
+    def num_parameters(self) -> int:
+        return self.weight.size + self.bias.size
+
+
+class ReLU(Layer):
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0.0)
+
+
+class MaxPool2D(Layer):
+    def __init__(self, kernel_size: int = 2, stride: int | None = None) -> None:
+        if kernel_size < 1:
+            raise ValueError("kernel_size must be >= 1")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        k, s = self.kernel_size, self.stride
+        out_h = (h - k) // s + 1
+        out_w = (w - k) // s + 1
+        if out_h <= 0 or out_w <= 0:
+            raise ValueError(f"pool {k} does not fit input {h}x{w}")
+        sn, sc, sh, sw = x.strides
+        windows = np.lib.stride_tricks.as_strided(
+            x,
+            shape=(n, c, out_h, out_w, k, k),
+            strides=(sn, sc, sh * s, sw * s, sh, sw),
+            writeable=False,
+        )
+        return windows.max(axis=(4, 5))
+
+
+class GlobalAvgPool(Layer):
+    """Average over all spatial positions: (N, C, H, W) → (N, C)."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x.mean(axis=(2, 3))
+
+
+class BatchNorm2D(Layer):
+    """Inference-mode batch norm: a fixed affine transform per channel."""
+
+    def __init__(self, num_channels: int, eps: float = 1e-5) -> None:
+        self.gamma = np.ones(num_channels)
+        self.beta = np.zeros(num_channels)
+        self.running_mean = np.zeros(num_channels)
+        self.running_var = np.ones(num_channels)
+        self.eps = eps
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        scale = self.gamma / np.sqrt(self.running_var + self.eps)
+        shift = self.beta - self.running_mean * scale
+        return x * scale[:, None, None] + shift[:, None, None]
+
+    @property
+    def num_parameters(self) -> int:
+        return self.gamma.size + self.beta.size
+
+
+class Flatten(Layer):
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x.reshape(x.shape[0], -1)
+
+
+class Linear(Layer):
+    def __init__(
+        self, in_features: int, out_features: int, *, rng: np.random.Generator | None = None
+    ) -> None:
+        if in_features < 1 or out_features < 1:
+            raise ValueError("invalid Linear dimensions")
+        rng = rng or np.random.default_rng(0)
+        scale = np.sqrt(2.0 / in_features)
+        self.weight = rng.normal(0.0, scale, (out_features, in_features))
+        self.bias = np.zeros(out_features)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.weight.shape[1]:
+            raise ValueError(f"expected (N,{self.weight.shape[1]}), got {x.shape}")
+        return x @ self.weight.T + self.bias
+
+    @property
+    def num_parameters(self) -> int:
+        return self.weight.size + self.bias.size
+
+
+class Softmax(Layer):
+    """Numerically stable softmax over the last axis."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        z = x - x.max(axis=-1, keepdims=True)
+        e = np.exp(z)
+        return e / e.sum(axis=-1, keepdims=True)

@@ -1,0 +1,59 @@
+"""Sequential inference networks built from the NumPy layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Layer, Softmax
+
+__all__ = ["Network"]
+
+_BYTES_PER_PARAM = 4  # float32 weights, as served in production
+
+
+class Network:
+    """An ordered stack of layers with a classification head.
+
+    The network is the payload a GPU process hosts: ``forward`` is the
+    paper's ``model(input)`` call, and :meth:`memory_mb` feeds the profiler
+    when Table I numbers are not used.
+    """
+
+    def __init__(self, name: str, layers: list[Layer]) -> None:
+        if not layers:
+            raise ValueError("a network needs at least one layer")
+        self.name = name
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the full forward pass and return class probabilities."""
+        for layer in self.layers:
+            x = layer(x)
+        if not isinstance(self.layers[-1], Softmax):
+            x = Softmax()(x)
+        return x
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Class labels (argmax of probabilities) for a batch."""
+        return self.forward(x).argmax(axis=-1)
+
+    @property
+    def num_parameters(self) -> int:
+        return sum(layer.num_parameters for layer in self.layers)
+
+    def memory_mb(self, activation_headroom: float = 2.5) -> float:
+        """Estimated GPU occupation: weights + activation head-room.
+
+        ``activation_headroom`` multiplies the raw weight bytes to account
+        for activations, workspace, and allocator slack at batch size 32 —
+        the same quantity Table I's "occupation size" measures.
+        """
+        if activation_headroom < 1.0:
+            raise ValueError("head-room multiplier must be >= 1")
+        return self.num_parameters * _BYTES_PER_PARAM * activation_headroom / 1e6
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Network {self.name}: {len(self.layers)} layers, {self.num_parameters} params>"

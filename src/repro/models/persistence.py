@@ -1,0 +1,74 @@
+"""Profile persistence: save/load a :class:`ProfileRegistry` as JSON.
+
+§IV-A's profiling is run once per (model, GPU type) and reused; this
+module is the "reuse" half — a deployment profiles its models, writes the
+registry next to its config, and every scheduler restart loads it back.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .profiler import ProfileRegistry
+from .profiles import BatchRegression, ModelProfile
+
+__all__ = ["save_registry", "load_registry"]
+
+_FORMAT_VERSION = 1
+
+
+def save_registry(path: str | Path, registry: ProfileRegistry) -> None:
+    """Serialize every profile in the registry to a JSON file."""
+    if len(registry) == 0:
+        raise ValueError("refusing to save an empty registry")
+    profiles = []
+    for arch in sorted(registry.architectures()):
+        for gpu_type in sorted(registry.gpu_types()):
+            try:
+                p = registry.get(arch, gpu_type)
+            except KeyError:
+                continue  # not every (arch, type) pair must exist
+            profiles.append(
+                {
+                    "name": p.name,
+                    "gpu_type": p.gpu_type,
+                    "occupied_mb": p.occupied_mb,
+                    "load_time_s": p.load_time_s,
+                    "regression": {
+                        "intercept": p.regression.intercept,
+                        "slope": p.regression.slope,
+                    },
+                }
+            )
+    payload = {"format_version": _FORMAT_VERSION, "profiles": profiles}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_registry(path: str | Path) -> ProfileRegistry:
+    """Load a registry saved by :func:`save_registry`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not a profile registry file ({exc})") from None
+    if not isinstance(payload, dict) or payload.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(f"{path}: unsupported registry format")
+    registry = ProfileRegistry()
+    for entry in payload.get("profiles", []):
+        try:
+            profile = ModelProfile(
+                name=entry["name"],
+                occupied_mb=float(entry["occupied_mb"]),
+                load_time_s=float(entry["load_time_s"]),
+                regression=BatchRegression(
+                    intercept=float(entry["regression"]["intercept"]),
+                    slope=float(entry["regression"]["slope"]),
+                ),
+                gpu_type=entry["gpu_type"],
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"{path}: malformed profile entry {entry!r} ({exc})") from None
+        registry.add(profile)
+    if len(registry) == 0:
+        raise ValueError(f"{path}: registry file contains no profiles")
+    return registry

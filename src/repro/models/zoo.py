@@ -1,0 +1,77 @@
+"""The model zoo: the 22 CNN models of Table I.
+
+Every number below is transcribed from the paper's Table I: occupation size
+in GPU memory, loading time, and inference latency for a batch size of 32
+on a GeForce RTX 2080.  These profiles drive both the simulator and the
+schedulers' finish-time estimates.
+"""
+
+from __future__ import annotations
+
+from .profiles import BatchRegression, ModelProfile
+
+__all__ = ["TABLE1_ROWS", "TABLE1", "paper_profiles", "get_profile", "model_names"]
+
+#: (name, occupation size MB, loading time s, inference time s @ batch 32)
+TABLE1_ROWS: tuple[tuple[str, float, float, float], ...] = (
+    ("squeezenet1.1", 1269, 2.41, 1.28),
+    ("resnet18", 1313, 2.52, 1.25),
+    ("resnet34", 1357, 2.60, 1.25),
+    ("squeezenet1.0", 1435, 2.32, 1.33),
+    ("alexnet", 1437, 2.81, 1.25),
+    ("resnext50.32x4d", 1555, 2.64, 1.29),
+    ("densenet121", 1601, 2.49, 1.28),
+    ("densenet169", 1631, 2.56, 1.30),
+    ("densenet201", 1665, 2.67, 1.40),
+    ("resnet50", 1701, 2.67, 1.28),
+    ("resnet101", 1757, 2.95, 1.30),
+    ("resnet152", 1827, 3.10, 1.31),
+    ("densenet161", 1919, 2.75, 1.32),
+    ("inception.v3", 2157, 4.42, 1.63),
+    ("resnext101.32x8d", 2191, 3.51, 1.33),
+    ("vgg11", 2903, 3.94, 1.29),
+    ("wideresnet502", 3611, 3.16, 1.31),
+    ("wideresnet1012", 3831, 3.91, 1.32),
+    ("vgg13", 3887, 3.98, 1.30),
+    ("vgg16", 3907, 4.04, 1.27),
+    ("vgg16.bn", 3907, 4.03, 1.26),
+    ("vgg19", 3947, 4.07, 1.33),
+)
+
+#: Table I keyed by model name.
+TABLE1: dict[str, tuple[float, float, float]] = {
+    name: (size, load, infer) for name, size, load, infer in TABLE1_ROWS
+}
+
+
+def paper_profiles(gpu_type: str = "rtx2080") -> dict[str, ModelProfile]:
+    """All 22 Table I profiles, sorted by occupation size (as in the paper)."""
+    return {
+        name: ModelProfile(
+            name=name,
+            occupied_mb=float(size),
+            load_time_s=float(load),
+            regression=BatchRegression.from_anchor(float(infer)),
+            gpu_type=gpu_type,
+        )
+        for name, size, load, infer in TABLE1_ROWS
+    }
+
+
+def get_profile(name: str, gpu_type: str = "rtx2080") -> ModelProfile:
+    """Profile for one Table I model."""
+    if name not in TABLE1:
+        raise KeyError(f"{name!r} is not in Table I; known: {sorted(TABLE1)}")
+    size, load, infer = TABLE1[name]
+    return ModelProfile(
+        name=name,
+        occupied_mb=float(size),
+        load_time_s=float(load),
+        regression=BatchRegression.from_anchor(float(infer)),
+        gpu_type=gpu_type,
+    )
+
+
+def model_names() -> list[str]:
+    """Table I model names in occupation-size order."""
+    return [name for name, *_ in TABLE1_ROWS]

@@ -1,0 +1,6 @@
+"""Runtime assembly: configuration and the FaaSCluster facade."""
+
+from .config import SystemConfig
+from .system import FaaSCluster
+
+__all__ = ["SystemConfig", "FaaSCluster"]

@@ -1,0 +1,42 @@
+"""System configuration for the GPU-enabled FaaS runtime."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster.topology import PAPER_TESTBED, ClusterSpec
+from ..core.policies import DEFAULT_O3_LIMIT
+from ..core.tenancy import TenantQuota
+
+__all__ = ["SystemConfig"]
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything needed to build a reproducible FaaS cluster.
+
+    Defaults mirror the paper's testbed and the LALBO3 scheduler.
+    """
+
+    #: cluster topology (default: 3 nodes × 4 RTX 2080, §V-A.3)
+    cluster: ClusterSpec = PAPER_TESTBED
+    #: scheduling policy: "lb", "lalb", "lalbo3", or the "locality" strawman
+    policy: str = "lalbo3"
+    #: out-of-order dispatch skip limit (§IV-B; only used by lalbo3)
+    o3_limit: int = DEFAULT_O3_LIMIT
+    #: cache replacement policy per GPU: "lru", "fifo", "lfu", "size"
+    replacement: str = "lru"
+    #: Datastore watch-notification delay (0 = synchronous)
+    watch_delay_s: float = 0.0
+    #: per-tenant quotas (empty = no isolation limits)
+    quotas: dict[str, TenantQuota] = field(default_factory=dict)
+    #: master seed for all stochastic elements
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.policy not in ("lb", "locality", "lalb", "lalbo3"):
+            raise ValueError(f"unknown policy {self.policy!r}")
+        if self.o3_limit < 0:
+            raise ValueError("o3_limit cannot be negative")
+        if self.watch_delay_s < 0:
+            raise ValueError("watch_delay_s cannot be negative")

@@ -1,0 +1,170 @@
+"""The assembled GPU-enabled FaaS system.
+
+:class:`FaaSCluster` wires every component of Fig. 2 together: the
+simulated GPU cluster, the etcd-like Datastore, the global Cache Manager
+and Scheduler, and one GPU Manager per node.  The FaaS front-end (Gateway,
+Watchdog, containers) plugs in on top via :mod:`repro.faas`; experiments
+that only exercise scheduling submit :class:`InferenceRequest` objects
+directly.
+"""
+
+from __future__ import annotations
+
+from ..cluster.topology import Cluster, GPUTypeSpec, build_cluster
+from ..core.cache_manager import CacheManager
+from ..core.estimator import FinishTimeEstimator
+from ..core.gpu_manager import GPUManager
+from ..core.policies import make_scheduling_policy
+from ..core.queues import LocalQueues
+from ..core.replacement import make_policy
+from ..core.request import InferenceRequest
+from ..core.scheduler import Scheduler
+from ..core.tenancy import TenancyController
+from ..datastore.client import Datastore
+from ..metrics.collector import MetricsCollector
+from ..models.profiler import ProfileRegistry
+from ..models.profiles import ModelInstance
+from ..sim import Simulator
+from .config import SystemConfig
+
+__all__ = ["FaaSCluster"]
+
+
+class FaaSCluster:
+    """A complete, ready-to-run GPU-enabled FaaS system."""
+
+    def __init__(self, config: SystemConfig | None = None) -> None:
+        self.config = config or SystemConfig()
+        self.sim = Simulator()
+        self.cluster: Cluster = build_cluster(self.sim, self.config.cluster)
+        self.datastore = Datastore(self.sim, watch_delay=self.config.watch_delay_s)
+
+        # model profiles for every GPU type present (§VI heterogeneity)
+        type_specs: list[GPUTypeSpec] = [spec for _, spec in self.config.cluster.nodes]
+        self.registry = ProfileRegistry.from_table1(type_specs)
+
+        self.metrics = MetricsCollector(self.sim)
+        self._completion_listeners: list = []
+        self.cache = CacheManager(
+            self.sim,
+            self.cluster.gpus,
+            datastore=self.datastore.client(),
+            policy_factory=lambda: make_policy(self.config.replacement),
+        )
+        self.cache.subscribe(self.metrics.on_cache_event)
+
+        local_queues = LocalQueues()
+        self.estimator = FinishTimeEstimator(self.sim, self.registry, local_queues)
+
+        self.tenancy: TenancyController | None = None
+        if self.config.quotas:
+            self.tenancy = TenancyController(
+                self.sim,
+                quotas=self.config.quotas,
+                total_memory_mb=sum(g.memory_mb for g in self.cluster.gpus),
+                num_gpus=len(self.cluster.gpus),
+                cache=self.cache,
+            )
+            self.cache.subscribe(self.tenancy.on_cache_event)
+
+        self._managers: dict[str, GPUManager] = {}
+        for node in self.cluster.nodes:
+            self._managers[node.node_id] = GPUManager(
+                self.sim,
+                node,
+                self.cache,
+                self.registry,
+                self.estimator,
+                datastore=self.datastore.client(),
+                on_idle=self._on_gpu_idle,
+                on_complete=self._on_request_complete,
+                on_dispatch=self._on_request_dispatch,
+            )
+
+        policy = make_scheduling_policy(self.config.policy, o3_limit=self.config.o3_limit)
+        self.scheduler = Scheduler(
+            self.sim,
+            self.cluster,
+            policy,
+            self.cache,
+            self.estimator,
+            self._managers,
+            datastore=self.datastore.client(),
+            tenancy=self.tenancy,
+        )
+
+    # ------------------------------------------------------------------
+    # Wiring callbacks
+    # ------------------------------------------------------------------
+    def _on_gpu_idle(self, gpu) -> None:
+        self.scheduler.on_gpu_idle(gpu)
+
+    def _on_request_dispatch(self, request: InferenceRequest) -> None:
+        if self.tenancy is not None:
+            self.tenancy.on_dispatch(request)
+
+    def _on_request_complete(self, request: InferenceRequest) -> None:
+        self.metrics.on_complete(request)
+        if self.tenancy is not None:
+            self.tenancy.on_request_complete(request)
+        for listener in list(self._completion_listeners):
+            listener(request)
+
+    def subscribe_completion(self, listener) -> None:
+        """Register a callback invoked with every completed request."""
+        self._completion_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def register_model(self, instance: ModelInstance) -> None:
+        """Make the runtime aware of a deployed model instance (tenancy)."""
+        if self.tenancy is not None:
+            self.tenancy.register_instance(instance)
+
+    def submit(self, request: InferenceRequest) -> None:
+        """Enqueue a request immediately (it must arrive now or earlier)."""
+        if request.arrival_time > self.sim.now:
+            raise ValueError(
+                f"request arrives at {request.arrival_time} but now is {self.sim.now}; "
+                "use submit_at()"
+            )
+        self.scheduler.submit(request)
+
+    def submit_at(self, request: InferenceRequest) -> None:
+        """Schedule the request's arrival at ``request.arrival_time``."""
+        self.sim.schedule_at(request.arrival_time, self.scheduler.submit, request)
+
+    def run(self, until: float | None = None) -> None:
+        """Advance the simulation (drains all work when ``until`` is None)."""
+        self.sim.run(until=until)
+
+    # ------------------------------------------------------------------
+    # Failure injection / recovery
+    # ------------------------------------------------------------------
+    def fail_gpu(self, gpu_id: str) -> None:
+        """Fail a GPU: its memory (cached models) is lost, the in-flight
+        request and everything in its local queue return to the global
+        queue and are retried elsewhere."""
+        gpu = self.cluster.gpu(gpu_id)
+        manager = self._managers[gpu.node_id]
+        inflight = manager.abort(gpu)
+        stranded = self.scheduler.drain_local(gpu_id)
+        if inflight is not None:
+            if self.tenancy is not None and inflight.cache_hit is False:
+                self.tenancy.on_load_aborted(inflight.model_id)
+            stranded.insert(0, inflight)
+        for request in stranded:
+            self.scheduler.resubmit(request)
+
+    def recover_gpu(self, gpu_id: str) -> None:
+        """Bring a failed GPU back online (empty) and resume scheduling."""
+        gpu = self.cluster.gpu(gpu_id)
+        self._managers[gpu.node_id].recover(gpu)
+
+    @property
+    def completed(self) -> list[InferenceRequest]:
+        return self.metrics.completed
+
+    def gpu_managers(self) -> dict[str, GPUManager]:
+        return dict(self._managers)

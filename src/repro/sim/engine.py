@@ -1,0 +1,195 @@
+"""Discrete-event simulation kernel.
+
+The whole GPU-enabled FaaS system runs on top of this kernel: the Gateway,
+Scheduler, Cache Manager, and GPU Managers are plain Python objects that
+schedule callbacks on a shared :class:`Simulator`.  Simulated time is a
+float number of seconds.
+
+Design notes
+------------
+* Events are ordered by ``(time, priority, seq)``.  ``seq`` is a
+  monotonically increasing counter, so events scheduled for the same
+  instant fire in the order they were scheduled — this makes every run
+  bit-for-bit deterministic.
+* Cancellation is O(1): a cancelled event stays in the heap but is skipped
+  when popped (lazy deletion).
+* There are no coroutines; components communicate through explicit
+  callbacks.  This keeps the kernel tiny, easy to reason about, and fast
+  (a 6-minute, ~2000-request cluster run executes in milliseconds).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = ["Event", "Simulator", "SimError"]
+
+
+class SimError(RuntimeError):
+    """Raised on kernel misuse (negative delays, running a dead simulator)."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, priority, seq)`` so they can live directly
+    in a heap.  The callback and its arguments do not participate in
+    ordering.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    fn: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A minimal deterministic discrete-event simulator.
+
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(2.0, fired.append, "b")
+    >>> _ = sim.schedule(1.0, fired.append, "a")
+    >>> sim.run()
+    >>> fired
+    ['a', 'b']
+    >>> sim.now
+    2.0
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._processed = 0
+        self._trace_hook: Callable[[float, str], Any] | None = None
+
+    def set_trace(self, hook: Callable[[float, str], Any] | None) -> None:
+        """Install a debug hook called ``hook(time, callback_name)`` before
+        each event fires (None disables).  For tests and debugging only —
+        it adds per-event overhead."""
+        self._trace_hook = hook
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events that have fired so far."""
+        return self._processed
+
+    def __len__(self) -> int:
+        """Number of pending (non-cancelled) events."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self, delay: float, fn: Callable[..., Any], *args: Any, priority: int = 0
+    ) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimError(f"negative delay {delay!r}")
+        return self.schedule_at(self._now + delay, fn, *args, priority=priority)
+
+    def schedule_at(
+        self, time: float, fn: Callable[..., Any], *args: Any, priority: int = 0
+    ) -> Event:
+        """Schedule ``fn(*args)`` at an absolute simulated time."""
+        if math.isnan(time):
+            raise SimError("event time is NaN")
+        if time < self._now:
+            raise SimError(f"cannot schedule in the past: {time} < {self._now}")
+        ev = Event(time=float(time), priority=priority, seq=next(self._seq), fn=fn, args=args)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def call_soon(self, fn: Callable[..., Any], *args: Any, priority: int = 0) -> Event:
+        """Schedule ``fn(*args)`` at the current time (after pending same-time events)."""
+        return self.schedule(0.0, fn, *args, priority=priority)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next pending event, or ``inf`` if none."""
+        self._drop_cancelled()
+        return self._heap[0].time if self._heap else math.inf
+
+    def step(self) -> bool:
+        """Fire the next event.  Returns False when no events remain."""
+        self._drop_cancelled()
+        if not self._heap:
+            return False
+        ev = heapq.heappop(self._heap)
+        self._now = ev.time
+        self._processed += 1
+        if self._trace_hook is not None:
+            self._trace_hook(ev.time, getattr(ev.fn, "__qualname__", repr(ev.fn)))
+        ev.fn(*ev.args)
+        return True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run events in order until the queue drains.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would fire strictly after this time;
+            the clock is advanced to ``until``.
+        max_events:
+            Safety valve for tests; raises :class:`SimError` when exceeded.
+        """
+        if self._running:
+            raise SimError("simulator is already running (re-entrant run())")
+        self._running = True
+        fired = 0
+        try:
+            while True:
+                self._drop_cancelled()
+                if not self._heap:
+                    break
+                if until is not None and self._heap[0].time > until:
+                    break
+                ev = heapq.heappop(self._heap)
+                self._now = ev.time
+                self._processed += 1
+                if self._trace_hook is not None:
+                    self._trace_hook(ev.time, getattr(ev.fn, "__qualname__", repr(ev.fn)))
+                ev.fn(*ev.args)
+                fired += 1
+                if max_events is not None and fired > max_events:
+                    raise SimError(f"exceeded max_events={max_events}")
+        finally:
+            self._running = False
+        if until is not None and until > self._now:
+            self._now = float(until)
+
+    def drain(self) -> Iterator[Event]:
+        """Yield and remove all pending events without firing them (for tests)."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if not ev.cancelled:
+                yield ev
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

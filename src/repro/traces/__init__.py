@@ -1,0 +1,45 @@
+"""Workload substrate: synthetic Azure trace, extraction pipeline, datasets."""
+
+from .azure import AzureTraceConfig, SyntheticAzureTrace, calibrate_zipf_exponent
+from .datasets import (
+    ImageBatch,
+    cifar_like,
+    compress_to_batch,
+    hymenoptera_like,
+    load_dataset,
+    mnist_like,
+)
+from .io import (
+    FileTrace,
+    TraceFrame,
+    export_synthetic_day,
+    read_invocations_csv,
+    write_invocations_csv,
+)
+from .workload import (
+    Workload,
+    WorkloadSpec,
+    assign_architectures,
+    build_workload,
+)
+
+__all__ = [
+    "AzureTraceConfig",
+    "SyntheticAzureTrace",
+    "calibrate_zipf_exponent",
+    "ImageBatch",
+    "cifar_like",
+    "compress_to_batch",
+    "hymenoptera_like",
+    "load_dataset",
+    "mnist_like",
+    "FileTrace",
+    "TraceFrame",
+    "export_synthetic_day",
+    "read_invocations_csv",
+    "write_invocations_csv",
+    "Workload",
+    "WorkloadSpec",
+    "assign_architectures",
+    "build_workload",
+]

@@ -1,0 +1,129 @@
+"""Synthetic inference inputs (substitute for MNIST / CIFAR-10 / Hymenoptera).
+
+The paper feeds inference with ~150 images drawn from MNIST (28×28
+grayscale), CIFAR-10 (32×32 RGB), and Hymenoptera (variable-size RGB photos
+that "must be compressed before being used in model inference", §V-A.2).
+These generators produce deterministic stand-ins with the same shapes and a
+class-dependent signal (a class-specific frequency pattern plus noise), so
+examples exercise real preprocessing and batching code paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ImageBatch",
+    "mnist_like",
+    "cifar_like",
+    "hymenoptera_like",
+    "compress_to_batch",
+    "load_dataset",
+]
+
+
+@dataclass(frozen=True)
+class ImageBatch:
+    """A batch of images plus their ground-truth class labels."""
+
+    images: np.ndarray  # (N, C, H, W) float32 in [0, 1]
+    labels: np.ndarray  # (N,) int64
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+
+def _class_pattern(label: int, channels: int, size: int) -> np.ndarray:
+    """A deterministic per-class spatial pattern (2-D sinusoid)."""
+    y, x = np.mgrid[0:size, 0:size] / size
+    freq = 1 + (label % 5)
+    phase = label * 0.7
+    pattern = 0.5 + 0.5 * np.sin(2 * np.pi * freq * (x + y) + phase)
+    return np.broadcast_to(pattern, (channels, size, size)).copy()
+
+
+def _make(
+    n: int, channels: int, size: int, num_classes: int, noise: float, seed: int
+) -> ImageBatch:
+    if n < 1 or num_classes < 2:
+        raise ValueError("need n >= 1 and num_classes >= 2")
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, num_classes, size=n)
+    images = np.empty((n, channels, size, size), dtype=np.float32)
+    for i, label in enumerate(labels):
+        img = _class_pattern(int(label), channels, size)
+        img += noise * rng.standard_normal(img.shape)
+        images[i] = np.clip(img, 0.0, 1.0)
+    return ImageBatch(images=images, labels=labels.astype(np.int64))
+
+
+def mnist_like(n: int = 32, *, noise: float = 0.15, seed: int = 0) -> ImageBatch:
+    """28×28 grayscale digits stand-in (10 classes)."""
+    return _make(n, channels=1, size=28, num_classes=10, noise=noise, seed=seed)
+
+
+def cifar_like(n: int = 32, *, noise: float = 0.2, seed: int = 0) -> ImageBatch:
+    """32×32 RGB stand-in (10 classes)."""
+    return _make(n, channels=3, size=32, num_classes=10, noise=noise, seed=seed)
+
+
+def hymenoptera_like(
+    n: int = 16, *, min_size: int = 64, max_size: int = 512, seed: int = 0
+) -> list[np.ndarray]:
+    """Variable-size RGB photos (2 classes: ants/bees stand-in).
+
+    Returned as a list of ``(H, W, 3)`` arrays with H, W varying per image —
+    like raw photo files, they must be compressed/resized before batching.
+    """
+    if min_size < 8 or max_size < min_size:
+        raise ValueError("invalid size range")
+    rng = np.random.default_rng(seed)
+    images = []
+    for i in range(n):
+        h = int(rng.integers(min_size, max_size + 1))
+        w = int(rng.integers(min_size, max_size + 1))
+        label = i % 2
+        base = _class_pattern(label, 3, max(h, w))[:, :h, :w]
+        img = np.clip(base + 0.1 * rng.standard_normal((3, h, w)), 0, 1)
+        images.append(np.ascontiguousarray(img.transpose(1, 2, 0), dtype=np.float32))
+    return images
+
+
+def compress_to_batch(images: list[np.ndarray], size: int = 32) -> np.ndarray:
+    """Resize variable-size HWC images to an ``(N, 3, size, size)`` batch.
+
+    Uses area-style down-sampling via integer-stride pooling (the
+    "compression" step §V-A.2 requires for Hymenoptera inputs) — pure NumPy,
+    fully vectorized per image.
+    """
+    if size < 1:
+        raise ValueError("size must be positive")
+    out = np.empty((len(images), 3, size, size), dtype=np.float32)
+    for i, img in enumerate(images):
+        if img.ndim != 3 or img.shape[2] != 3:
+            raise ValueError(f"image {i} is not HWC RGB")
+        h, w = img.shape[:2]
+        rows = np.linspace(0, h, size + 1).astype(int)
+        cols = np.linspace(0, w, size + 1).astype(int)
+        chw = img.transpose(2, 0, 1)
+        # block-mean pooling over the (possibly uneven) grid
+        row_sums = np.add.reduceat(chw, rows[:-1], axis=1)
+        block = np.add.reduceat(row_sums, cols[:-1], axis=2)
+        areas = np.outer(np.diff(rows), np.diff(cols))
+        areas = np.maximum(areas, 1)
+        out[i] = block / areas[None, :, :]
+    return out
+
+
+def load_dataset(name: str, n: int = 32, *, seed: int = 0):
+    """Dataset registry used by the examples (``mnist``/``cifar10``/``hymenoptera``)."""
+    table = {
+        "mnist": lambda: mnist_like(n, seed=seed),
+        "cifar10": lambda: cifar_like(n, seed=seed),
+        "hymenoptera": lambda: hymenoptera_like(n, seed=seed),
+    }
+    if name not in table:
+        raise KeyError(f"unknown dataset {name!r}; known: {sorted(table)}")
+    return table[name]()

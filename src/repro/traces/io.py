@@ -1,0 +1,161 @@
+"""Azure-trace file I/O.
+
+The real *Azure Functions 2019* trace (Shahrad et al., ATC'20) ships as 14
+daily CSVs — ``invocations_per_function_md.anon.dNN.csv`` — with one row
+per function (hashed owner/app/function ids, trigger type) and one column
+per minute (1..1440) holding that minute's invocation count.
+
+This module reads and writes that exact format, so:
+
+* users who *do* have the real trace can feed it straight into the §V-A.1
+  extraction pipeline (:class:`FileTrace` is a drop-in for
+  :class:`~repro.traces.azure.SyntheticAzureTrace` in
+  :func:`~repro.traces.workload.build_workload`);
+* the synthetic trace can be exported for inspection with standard tools.
+"""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from .azure import SyntheticAzureTrace
+
+__all__ = ["TraceFrame", "write_invocations_csv", "read_invocations_csv", "FileTrace", "export_synthetic_day"]
+
+_MINUTES_PER_DAY = 1440
+_META_COLUMNS = ["HashOwner", "HashApp", "HashFunction", "Trigger"]
+
+
+def _hash(value: str) -> str:
+    """Deterministic 32-hex-char id, like the trace's anonymized hashes."""
+    return hashlib.sha256(value.encode()).hexdigest()[:32]
+
+
+@dataclass
+class TraceFrame:
+    """One day of per-function per-minute invocation counts."""
+
+    function_ids: list[str]
+    counts: np.ndarray  # (num_functions, 1440) int64
+    triggers: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.counts = np.asarray(self.counts, dtype=np.int64)
+        if self.counts.ndim != 2 or self.counts.shape[0] != len(self.function_ids):
+            raise ValueError("counts must be (num_functions, minutes)")
+        if self.counts.shape[1] != _MINUTES_PER_DAY:
+            raise ValueError(f"a trace day has {_MINUTES_PER_DAY} minute columns")
+        if (self.counts < 0).any():
+            raise ValueError("invocation counts cannot be negative")
+        if not self.triggers:
+            self.triggers = ["http"] * len(self.function_ids)
+
+    @property
+    def total_invocations(self) -> int:
+        return int(self.counts.sum())
+
+
+def write_invocations_csv(path: str | Path, frame: TraceFrame) -> None:
+    """Write one day in the Azure ``invocations_per_function`` format."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_META_COLUMNS + [str(m) for m in range(1, _MINUTES_PER_DAY + 1)])
+        for i, fid in enumerate(frame.function_ids):
+            writer.writerow(
+                [
+                    _hash(f"owner/{fid}"),
+                    _hash(f"app/{fid}"),
+                    _hash(f"fn/{fid}"),
+                    frame.triggers[i],
+                ]
+                + frame.counts[i].tolist()
+            )
+
+
+def read_invocations_csv(path: str | Path) -> TraceFrame:
+    """Read a daily trace CSV (real or exported)."""
+    path = Path(path)
+    function_ids: list[str] = []
+    triggers: list[str] = []
+    rows: list[list[int]] = []
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader)
+        if header[: len(_META_COLUMNS)] != _META_COLUMNS:
+            raise ValueError(f"{path}: not an Azure invocations CSV (header {header[:4]})")
+        n_minutes = len(header) - len(_META_COLUMNS)
+        if n_minutes != _MINUTES_PER_DAY:
+            raise ValueError(f"{path}: expected {_MINUTES_PER_DAY} minute columns, got {n_minutes}")
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) != len(header):
+                raise ValueError(f"{path}:{line_no}: ragged row")
+            # the hashed function id is the stable identity
+            function_ids.append(row[2])
+            triggers.append(row[3])
+            rows.append([int(x) for x in row[len(_META_COLUMNS):]])
+    if not rows:
+        raise ValueError(f"{path}: trace file has no function rows")
+    return TraceFrame(
+        function_ids=function_ids, counts=np.asarray(rows, dtype=np.int64), triggers=triggers
+    )
+
+
+def export_synthetic_day(
+    trace: SyntheticAzureTrace, path: str | Path, *, top_k: int = 100, day: int = 0
+) -> TraceFrame:
+    """Export one day of the synthetic trace (top-k functions) to CSV."""
+    if day < 0 or day >= trace.config.days:
+        raise ValueError(f"day must be in [0, {trace.config.days})")
+    fids = trace.top_functions(top_k)
+    minutes = range(day * _MINUTES_PER_DAY, (day + 1) * _MINUTES_PER_DAY)
+    frame = TraceFrame(function_ids=fids, counts=trace.counts(fids, minutes))
+    write_invocations_csv(path, frame)
+    return frame
+
+
+class FileTrace:
+    """Multi-day trace backed by CSV files; drop-in for the synthetic trace.
+
+    Implements the two methods :func:`~repro.traces.workload.build_workload`
+    needs — ``top_functions(k)`` and ``counts(function_ids, minutes)`` —
+    with popularity computed over the loaded days.
+    """
+
+    def __init__(self, frames: list[TraceFrame]) -> None:
+        if not frames:
+            raise ValueError("need at least one trace day")
+        ids = frames[0].function_ids
+        for f in frames[1:]:
+            if f.function_ids != ids:
+                raise ValueError("all days must cover the same functions")
+        self.frames = frames
+        self._matrix = np.concatenate([f.counts for f in frames], axis=1)
+        totals = self._matrix.sum(axis=1)
+        self._order = np.argsort(-totals, kind="stable")
+        self.function_ids = ids
+        self._index = {fid: i for i, fid in enumerate(ids)}
+
+    @classmethod
+    def load(cls, paths: list[str | Path]) -> "FileTrace":
+        return cls([read_invocations_csv(p) for p in paths])
+
+    @property
+    def total_minutes(self) -> int:
+        return self._matrix.shape[1]
+
+    def top_functions(self, k: int) -> list[str]:
+        if not 1 <= k <= len(self.function_ids):
+            raise ValueError(f"k must be in [1, {len(self.function_ids)}]")
+        return [self.function_ids[i] for i in self._order[:k]]
+
+    def counts(self, function_ids: list[str], minutes: range) -> np.ndarray:
+        if minutes.stop > self.total_minutes:
+            raise ValueError(f"trace covers only {self.total_minutes} minutes")
+        idx = [self._index[f] for f in function_ids]
+        return self._matrix[np.ix_(idx, list(minutes))]

@@ -1,0 +1,195 @@
+"""Workload extraction: from the (synthetic) Azure trace to a request stream.
+
+Reproduces §V-A.1's pipeline exactly:
+
+1. take the **first 6 minutes** of the trace;
+2. keep only the **top-K most frequent functions** (K = working-set size,
+   15/25/35 in the paper);
+3. **normalize** each minute's total to **325 requests**;
+4. map each unique function to a model in Table I, with model sizes
+   **distributed evenly** over the working set;
+5. within each minute, **randomly distribute** the invocations while
+   preserving the per-minute totals.
+
+Each function gets its own :class:`~repro.models.ModelInstance` (its own
+weights → its own cache item), so the cache working set equals K even when
+K exceeds the 22 distinct architectures (DESIGN.md §5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.request import InferenceRequest
+from ..models.profiles import PAPER_BATCH_SIZE, ModelInstance
+from ..models.zoo import TABLE1_ROWS, get_profile
+from .azure import SyntheticAzureTrace
+
+__all__ = ["WorkloadSpec", "Workload", "build_workload", "assign_architectures"]
+
+#: paper defaults (§V-A.1)
+PAPER_MINUTES = 6
+PAPER_REQUESTS_PER_MINUTE = 325
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Extraction parameters; defaults reproduce the paper."""
+
+    working_set: int = 15
+    minutes: int = PAPER_MINUTES
+    requests_per_minute: int = PAPER_REQUESTS_PER_MINUTE
+    batch_size: int = PAPER_BATCH_SIZE
+    #: per-request SLA in seconds (None = best effort, the paper's setting)
+    sla_s: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.working_set < 1:
+            raise ValueError("working_set must be >= 1")
+        if self.minutes < 1 or self.requests_per_minute < 1:
+            raise ValueError("minutes and requests_per_minute must be >= 1")
+        if self.sla_s is not None and self.sla_s <= 0:
+            raise ValueError("sla_s must be positive when set")
+
+
+@dataclass
+class Workload:
+    """A ready-to-submit request stream plus its provenance."""
+
+    spec: WorkloadSpec
+    requests: list[InferenceRequest]
+    instances: dict[str, ModelInstance]          # function id -> model instance
+    counts: np.ndarray                           # (working_set, minutes), normalized
+    function_ids: list[str] = field(default_factory=list)
+
+    @property
+    def duration_s(self) -> float:
+        return self.spec.minutes * 60.0
+
+    @property
+    def top_function(self) -> str:
+        """Most-invoked function over the extracted window (Fig. 6's model)."""
+        return self.function_ids[int(np.argmax(self.counts.sum(axis=1)))]
+
+    @property
+    def top_model_id(self) -> str:
+        return self.instances[self.top_function].instance_id
+
+    def describe(self) -> dict:
+        """Summary statistics of the extracted workload (for reports).
+
+        Includes the quantities §V-A.1 fixes (totals, rates, working set)
+        plus the resulting skew and the aggregate model footprint — the
+        ratio of footprint to cluster memory is what drives the
+        working-set trends in Figs. 4–6.
+        """
+        per_fn = self.counts.sum(axis=1)
+        total = int(per_fn.sum())
+        sizes = [inst.occupied_mb for inst in self.instances.values()]
+        return {
+            "working_set": self.spec.working_set,
+            "minutes": self.spec.minutes,
+            "total_requests": total,
+            "requests_per_minute": int(self.counts.sum(axis=0)[0]),
+            "top_function_share": float(per_fn.max() / total) if total else 0.0,
+            "top15_share": float(np.sort(per_fn)[::-1][:15].sum() / total) if total else 0.0,
+            "distinct_architectures": len({i.architecture for i in self.instances.values()}),
+            "total_model_footprint_mb": float(sum(sizes)),
+            "mean_model_size_mb": float(np.mean(sizes)),
+            "batch_size": self.spec.batch_size,
+        }
+
+
+def assign_architectures(function_ids: list[str]) -> dict[str, str]:
+    """Map functions to Table I architectures with sizes spread evenly.
+
+    Functions are in popularity order; architectures are in size order.
+    Striding through the size-ordered table means consecutive popularity
+    ranks get well-separated sizes, and any window of the working set holds
+    a representative size mix — the paper's "models with different sizes
+    are distributed evenly in the workload".
+    """
+    names = [name for name, *_ in TABLE1_ROWS]
+    stride = 7  # coprime with 22 → visits all architectures before repeating
+    return {
+        fid: names[(i * stride) % len(names)] for i, fid in enumerate(function_ids)
+    }
+
+
+def _normalize_minute(counts: np.ndarray, target: int) -> np.ndarray:
+    """Scale one minute's per-function counts to sum to ``target``.
+
+    Largest-remainder rounding keeps the total exact while preserving the
+    functions' relative shares.
+    """
+    total = counts.sum()
+    if total == 0:
+        # empty minute in the raw trace: spread the target uniformly
+        base = np.full(len(counts), target // len(counts), dtype=np.int64)
+        base[: target % len(counts)] += 1
+        return base
+    exact = counts * (target / total)
+    floor = np.floor(exact).astype(np.int64)
+    short = target - int(floor.sum())
+    remainder_order = np.argsort(-(exact - floor), kind="stable")
+    floor[remainder_order[:short]] += 1
+    return floor
+
+
+def build_workload(
+    spec: WorkloadSpec | None = None,
+    *,
+    trace: SyntheticAzureTrace | None = None,
+    tenant: str = "default",
+) -> Workload:
+    """Run the full §V-A.1 extraction pipeline."""
+    spec = spec or WorkloadSpec()
+    trace = trace or SyntheticAzureTrace()
+    rng = np.random.default_rng(spec.seed)
+
+    function_ids = trace.top_functions(spec.working_set)
+    raw = trace.counts(function_ids, range(spec.minutes))
+    normalized = np.stack(
+        [
+            _normalize_minute(raw[:, m], spec.requests_per_minute)
+            for m in range(spec.minutes)
+        ],
+        axis=1,
+    )
+
+    arch_of = assign_architectures(function_ids)
+    instances = {
+        fid: ModelInstance(f"{fid}#model", get_profile(arch_of[fid]), tenant=tenant)
+        for fid in function_ids
+    }
+
+    requests: list[InferenceRequest] = []
+    for m in range(spec.minutes):
+        # one entry per invocation, shuffled, with sorted uniform arrivals —
+        # "we randomly distribute the invocations of different functions
+        # while maintaining the normalized total invocations per minute"
+        fn_indices = np.repeat(np.arange(len(function_ids)), normalized[:, m])
+        rng.shuffle(fn_indices)
+        arrivals = np.sort(rng.uniform(60.0 * m, 60.0 * (m + 1), size=len(fn_indices)))
+        for t, fi in zip(arrivals, fn_indices):
+            fid = function_ids[fi]
+            requests.append(
+                InferenceRequest(
+                    function_name=fid,
+                    model=instances[fid],
+                    arrival_time=float(t),
+                    batch_size=spec.batch_size,
+                    tenant=tenant,
+                    sla_s=spec.sla_s,
+                )
+            )
+    return Workload(
+        spec=spec,
+        requests=requests,
+        instances=instances,
+        counts=normalized,
+        function_ids=list(function_ids),
+    )

@@ -1,0 +1,63 @@
+"""Unit tests for the PCIe transfer-time model."""
+
+import pytest
+
+from repro.cluster import PCIeModel, fit_pcie_model
+
+
+def test_transfer_time_is_affine_in_size():
+    m = PCIeModel(bandwidth_mb_s=1000.0, fixed_overhead_s=1.0)
+    assert m.transfer_time(0.0) == pytest.approx(1.0)
+    assert m.transfer_time(500.0) == pytest.approx(1.5)
+    assert m.transfer_time(2000.0) == pytest.approx(3.0)
+
+
+def test_default_model_matches_table1_scale():
+    """Defaults were fitted to Table I: check two anchor rows within 15%."""
+    m = PCIeModel()
+    assert m.transfer_time(1269) == pytest.approx(2.41, rel=0.15)  # squeezenet1.1
+    assert m.transfer_time(3947) == pytest.approx(4.07, rel=0.15)  # vgg19
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        PCIeModel().transfer_time(-1.0)
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        PCIeModel(bandwidth_mb_s=0.0)
+    with pytest.raises(ValueError):
+        PCIeModel(fixed_overhead_s=-0.1)
+
+
+def test_scaled_link_is_faster():
+    m = PCIeModel(bandwidth_mb_s=1000.0, fixed_overhead_s=1.0)
+    fast = m.scaled(2.0)
+    assert fast.bandwidth_mb_s == pytest.approx(2000.0)
+    assert fast.fixed_overhead_s == pytest.approx(1.0)
+    assert fast.transfer_time(1000.0) < m.transfer_time(1000.0)
+
+
+def test_scaled_rejects_nonpositive_factor():
+    with pytest.raises(ValueError):
+        PCIeModel().scaled(0.0)
+
+
+def test_fit_recovers_known_model():
+    truth = PCIeModel(bandwidth_mb_s=1600.0, fixed_overhead_s=1.5)
+    sizes = [1000.0, 2000.0, 3000.0, 4000.0]
+    times = [truth.transfer_time(s) for s in sizes]
+    fitted = fit_pcie_model(sizes, times)
+    assert fitted.bandwidth_mb_s == pytest.approx(1600.0, rel=1e-6)
+    assert fitted.fixed_overhead_s == pytest.approx(1.5, rel=1e-6)
+
+
+def test_fit_requires_two_points():
+    with pytest.raises(ValueError):
+        fit_pcie_model([1000.0], [2.0])
+
+
+def test_fit_rejects_nonincreasing_times():
+    with pytest.raises(ValueError):
+        fit_pcie_model([1000.0, 2000.0], [3.0, 2.0])

@@ -1,0 +1,84 @@
+"""Property-based tests for the scheduler queues (hypothesis)."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.queues import GlobalQueue
+from repro.core.request import InferenceRequest
+from repro.models import ModelInstance, get_profile
+
+_PROFILE = get_profile("alexnet")
+
+# operations: ("push", model_idx, arrival) | ("pop_head",) | ("remove_for_model", model_idx)
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), st.integers(0, 4), st.floats(0, 100)),
+        st.tuples(st.just("pop_head")),
+        st.tuples(st.just("remove_for_model"), st.integers(0, 4)),
+    ),
+    max_size=60,
+)
+
+
+def _run_ops(ops):
+    """Drive the GlobalQueue and a naive reference model side by side."""
+    q = GlobalQueue()
+    reference: OrderedDict[int, InferenceRequest] = OrderedDict()
+    instances = {i: ModelInstance(f"m{i}", _PROFILE) for i in range(5)}
+    arrival_clock = 0.0
+    for op in ops:
+        if op[0] == "push":
+            _, idx, extra = op
+            arrival_clock += extra  # arrivals non-decreasing, like real submissions
+            r = InferenceRequest(f"fn{idx}", instances[idx], arrival_time=arrival_clock)
+            q.push(r)
+            reference[r.request_id] = r
+        elif op[0] == "pop_head":
+            head = q.head()
+            if head is not None:
+                q.remove(head)
+                del reference[head.request_id]
+        else:  # remove_for_model
+            _, idx = op
+            target = q.first_for_model(instances[idx].instance_id)
+            if target is not None:
+                q.remove(target)
+                del reference[target.request_id]
+    return q, reference, instances
+
+
+@given(_ops)
+@settings(max_examples=80, deadline=None)
+def test_queue_matches_reference_order(ops):
+    q, reference, _ = _run_ops(ops)
+    assert [r.request_id for r in q] == list(reference)
+    assert len(q) == len(reference)
+    head = q.head()
+    if reference:
+        assert head is next(iter(reference.values()))
+    else:
+        assert head is None
+
+
+@given(_ops)
+@settings(max_examples=80, deadline=None)
+def test_model_index_always_consistent(ops):
+    """first_for_model must always equal a linear scan of the queue."""
+    q, reference, instances = _run_ops(ops)
+    for inst in instances.values():
+        expected = next(
+            (r for r in reference.values() if r.model_id == inst.instance_id), None
+        )
+        assert q.first_for_model(inst.instance_id) is expected
+    # queued_models is exactly the distinct models present
+    assert q.queued_models() == {r.model_id for r in reference.values()}
+
+
+@given(_ops)
+@settings(max_examples=50, deadline=None)
+def test_arrival_order_is_nondecreasing(ops):
+    q, _, _ = _run_ops(ops)
+    arrivals = [r.arrival_time for r in q]
+    assert arrivals == sorted(arrivals)

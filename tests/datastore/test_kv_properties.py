@@ -1,0 +1,98 @@
+"""Property-based tests (hypothesis) for MVCC store invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datastore import KVStore
+
+# A mutation is ("put", key, value) or ("delete", key).
+_keys = st.sampled_from(["a", "b", "c", "gpu/0", "gpu/1"])
+_mutations = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), _keys, st.integers(-5, 5)),
+        st.tuples(st.just("delete"), _keys),
+    ),
+    max_size=40,
+)
+
+
+def _apply(store: KVStore, ops):
+    for op in ops:
+        if op[0] == "put":
+            store.put(op[1], op[2])
+        else:
+            store.delete(op[1])
+
+
+@given(_mutations)
+def test_revision_counts_effective_mutations(ops):
+    store = KVStore()
+    effective = 0
+    live = set()
+    for op in ops:
+        if op[0] == "put":
+            store.put(op[1], op[2])
+            live.add(op[1])
+            effective += 1
+        else:
+            existed = op[1] in live
+            assert store.delete(op[1]) is existed
+            live.discard(op[1])
+            effective += 1 if existed else 0
+    assert store.revision == effective
+    assert set(store.keys()) == live
+
+
+@given(_mutations)
+def test_historical_reads_replay_the_live_view(ops):
+    """Reading every key at revision r must match the live view as of r."""
+    store = KVStore()
+    snapshots = {0: {}}
+    view = {}
+    for op in ops:
+        if op[0] == "put":
+            store.put(op[1], op[2])
+            view[op[1]] = op[2]
+            snapshots[store.revision] = dict(view)
+        else:
+            if store.delete(op[1]):
+                view.pop(op[1], None)
+                snapshots[store.revision] = dict(view)
+    all_keys = {op[1] for op in ops}
+    for rev, snap in snapshots.items():
+        if rev == 0:
+            continue
+        for key in all_keys:
+            kv = store.get(key, revision=rev)
+            if key in snap:
+                assert kv is not None and kv.value == snap[key]
+            else:
+                assert kv is None
+
+
+@given(_mutations, st.integers(0, 40))
+@settings(max_examples=60)
+def test_compaction_never_affects_live_or_newer_reads(ops, compact_at):
+    store = KVStore()
+    _apply(store, ops)
+    final = {kv.key: kv.value for kv in store.items()}
+    rev = min(compact_at, store.revision)
+    store.compact(rev)
+    assert {kv.key: kv.value for kv in store.items()} == final
+    # reads at the compaction revision and at head still work
+    for key in final:
+        assert store.get(key, revision=store.revision).value == final[key]
+
+
+@given(_mutations)
+def test_version_counts_writes_since_creation(ops):
+    store = KVStore()
+    versions: dict[str, int] = {}
+    for op in ops:
+        if op[0] == "put":
+            versions[op[1]] = versions.get(op[1], 0) + 1
+            kv = store.put(op[1], op[2])
+            assert kv.version == versions[op[1]]
+        else:
+            if store.delete(op[1]):
+                versions.pop(op[1], None)

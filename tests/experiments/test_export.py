@@ -1,0 +1,76 @@
+"""Unit tests for CSV result export."""
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.experiments.export import read_csv_rows, write_summaries_csv, write_timeline_csv
+from repro.metrics import TimelineSampler
+from repro.runtime import FaaSCluster, SystemConfig
+from repro.traces import AzureTraceConfig, SyntheticAzureTrace
+
+SMALL_TRACE = SyntheticAzureTrace(
+    AzureTraceConfig(num_functions=200, mean_rate_per_minute=1500, seed=13)
+)
+
+
+@pytest.fixture(scope="module")
+def summary():
+    return run_experiment(
+        ExperimentConfig(
+            working_set=5, minutes=1, requests_per_minute=30,
+            cluster=ClusterSpec.homogeneous(1, 2),
+        ),
+        trace=SMALL_TRACE,
+    )
+
+
+class TestSummariesCSV:
+    def test_round_trip_single_key(self, tmp_path, summary):
+        path = tmp_path / "out.csv"
+        write_summaries_csv(path, {"lalbo3": summary}, key_names=("policy",))
+        rows = read_csv_rows(path)
+        assert len(rows) == 1
+        assert rows[0]["policy"] == "lalbo3"
+        assert float(rows[0]["avg_latency_s"]) > 0
+
+    def test_tuple_keys(self, tmp_path, summary):
+        path = tmp_path / "grid.csv"
+        write_summaries_csv(
+            path,
+            {("lb", 15): summary, ("lalb", 35): summary},
+            key_names=("policy", "ws"),
+        )
+        rows = read_csv_rows(path)
+        assert {(r["policy"], r["ws"]) for r in rows} == {("lb", "15"), ("lalb", "35")}
+
+    def test_key_arity_mismatch(self, tmp_path, summary):
+        with pytest.raises(ValueError):
+            write_summaries_csv(tmp_path / "x.csv", {("a", 1): summary}, key_names=("k",))
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_summaries_csv(tmp_path / "x.csv", {})
+
+    def test_non_summary_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            write_summaries_csv(tmp_path / "x.csv", {"k": 42})
+
+
+class TestTimelineCSV:
+    def test_round_trip(self, tmp_path):
+        system = FaaSCluster(SystemConfig(cluster=ClusterSpec.homogeneous(1, 1)))
+        sampler = TimelineSampler(system, period_s=1.0)
+        sampler.start()
+        system.run(until=3.0)
+        sampler.stop()
+        path = tmp_path / "timeline.csv"
+        write_timeline_csv(path, sampler)
+        rows = read_csv_rows(path)
+        assert len(rows) == 3
+        assert rows[0]["gpus_idle"] == "1"
+
+    def test_empty_sampler_rejected(self, tmp_path):
+        system = FaaSCluster(SystemConfig(cluster=ClusterSpec.homogeneous(1, 1)))
+        with pytest.raises(ValueError):
+            write_timeline_csv(tmp_path / "x.csv", TimelineSampler(system))

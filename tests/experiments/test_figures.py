@@ -1,0 +1,92 @@
+"""Unit tests for the figure formatters (small-scale grids)."""
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.experiments import (
+    ExperimentConfig,
+    format_fig4,
+    format_fig5,
+    format_fig6,
+    format_fig7,
+    format_table1,
+    headline_reductions,
+    run_experiment,
+    table1_from_paper,
+)
+from repro.traces import AzureTraceConfig, SyntheticAzureTrace
+
+SMALL_TRACE = SyntheticAzureTrace(
+    AzureTraceConfig(num_functions=200, mean_rate_per_minute=1500, seed=17)
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_grid():
+    base = ExperimentConfig(
+        minutes=1, requests_per_minute=40, cluster=ClusterSpec.homogeneous(1, 3)
+    )
+    from dataclasses import replace
+
+    grid = {}
+    for policy in ("lb", "lalb", "lalbo3"):
+        for ws in (4, 6):
+            grid[(policy, ws)] = run_experiment(
+                replace(base, policy=policy, working_set=ws), trace=SMALL_TRACE
+            )
+    return grid
+
+
+class TestFig4Formatter:
+    def test_contains_three_subfigures(self, tiny_grid):
+        text = format_fig4(tiny_grid)
+        assert "Figure 4a" in text
+        assert "Figure 4b" in text
+        assert "Figure 4c" in text
+        assert "WS=4" in text and "WS=6" in text
+        assert "LALBO3" in text
+
+    def test_headline_reductions_keys(self, tiny_grid):
+        red = headline_reductions(tiny_grid)
+        assert "lalb_latency_reduction_ws4" in red
+        assert "lalbo3_miss_reduction_ws6" in red
+        assert all(v <= 100.0 for v in red.values())
+
+
+class TestFig5And6Formatters:
+    def test_fig5_shows_per_miss_share(self, tiny_grid):
+        text = format_fig5(tiny_grid)
+        assert "false miss ratio" in text
+        assert "/miss" in text
+
+    def test_fig6_table(self, tiny_grid):
+        text = format_fig6(tiny_grid)
+        assert "duplicates" in text
+        assert "LB" in text
+
+
+class TestFig7Formatter:
+    def test_sorted_by_limit(self):
+        from repro.experiments import run_fig7
+        from repro.experiments.runner import ExperimentConfig
+
+        results = run_fig7(
+            limits=(15, 0),
+            working_set=4,
+            base=ExperimentConfig(
+                minutes=1, requests_per_minute=30, cluster=ClusterSpec.homogeneous(1, 2)
+            ),
+            trace=SMALL_TRACE,
+        )
+        text = format_fig7(results)
+        lines = text.splitlines()
+        assert lines[0].startswith("Figure 7")
+        first_data = lines[3].split()[0]
+        assert first_data == "0"  # rows sorted ascending by limit
+
+
+class TestTable1Formatter:
+    def test_all_rows_present(self):
+        text = format_table1(table1_from_paper())
+        assert text.count("\n") == 23  # header + separator + 22 rows
+        assert "squeezenet1.1" in text and "vgg19" in text

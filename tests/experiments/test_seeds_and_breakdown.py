@@ -1,0 +1,92 @@
+"""Tests for multi-seed spreads, per-architecture breakdown, and fn logs."""
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.experiments import ExperimentConfig
+from repro.experiments.seeds import MetricSpread, run_multi_seed
+from repro.faas import FunctionSpec, Gateway
+from repro.metrics.summary import per_architecture_breakdown
+from repro.runtime import FaaSCluster, SystemConfig
+from repro.traces import AzureTraceConfig, SyntheticAzureTrace, WorkloadSpec, build_workload
+
+SMALL_TRACE = SyntheticAzureTrace(
+    AzureTraceConfig(num_functions=200, mean_rate_per_minute=1500, seed=21)
+)
+SMALL = ExperimentConfig(
+    working_set=5, minutes=1, requests_per_minute=40, cluster=ClusterSpec.homogeneous(1, 3)
+)
+
+
+class TestMultiSeed:
+    def test_spreads_for_all_metrics(self):
+        out = run_multi_seed(SMALL, seeds=(0, 1, 2), trace=SMALL_TRACE)
+        assert set(out) >= {"avg_latency_s", "cache_miss_ratio", "sm_utilization"}
+        spread = out["avg_latency_s"]
+        assert isinstance(spread, MetricSpread)
+        assert len(spread.values) == 3
+        assert spread.mean > 0
+        assert spread.std >= 0
+        assert 0 <= spread.cv < 1.0
+
+    def test_needs_two_seeds(self):
+        with pytest.raises(ValueError):
+            run_multi_seed(SMALL, seeds=(0,), trace=SMALL_TRACE)
+
+    def test_cv_zero_when_mean_zero(self):
+        s = MetricSpread("m", mean=0.0, std=0.0, values=(0.0, 0.0))
+        assert s.cv == 0.0
+
+
+class TestPerArchitectureBreakdown:
+    def test_breakdown_covers_workload(self):
+        wl = build_workload(
+            WorkloadSpec(working_set=5, minutes=1, requests_per_minute=40),
+            trace=SMALL_TRACE,
+        )
+        system = FaaSCluster(SystemConfig(cluster=ClusterSpec.homogeneous(1, 3)))
+        for r in wl.requests:
+            system.submit_at(r)
+        system.run()
+        breakdown = per_architecture_breakdown(system.metrics)
+        assert sum(b["count"] for b in breakdown.values()) == 40
+        for arch, stats in breakdown.items():
+            assert stats["avg_latency_s"] > 0
+            assert 0.0 <= stats["miss_ratio"] <= 1.0
+            assert stats["p99_latency_s"] >= stats["avg_latency_s"] * 0.5
+
+
+class TestFunctionLogs:
+    def test_logs_capture_invocation_lifecycle(self):
+        system = FaaSCluster(SystemConfig(cluster=ClusterSpec.homogeneous(1, 1)))
+        gateway = Gateway(system)
+        gateway.register(FunctionSpec(name="classify", model_architecture="alexnet"))
+        gateway.invoke("classify")
+        system.run()
+        lines = gateway.logs("classify")
+        assert any("started" in line for line in lines)
+        assert any("succeeded" in line for line in lines)
+
+    def test_logs_capture_failures(self):
+        from repro.faas import default_template
+
+        def boom(_):
+            raise RuntimeError("exploded")
+
+        system = FaaSCluster(SystemConfig(cluster=ClusterSpec.homogeneous(1, 1)))
+        gateway = Gateway(system)
+        gateway.register(
+            FunctionSpec(name="bad", dockerfile=default_template(gpu=False), handler=boom)
+        )
+        gateway.invoke("bad")
+        system.run()
+        assert any("FAILED: exploded" in line for line in gateway.logs("bad"))
+
+    def test_tail(self):
+        system = FaaSCluster(SystemConfig(cluster=ClusterSpec.homogeneous(1, 1)))
+        gateway = Gateway(system)
+        gateway.register(FunctionSpec(name="classify", model_architecture="alexnet"))
+        for _ in range(3):
+            gateway.invoke("classify")
+            system.run()
+        assert len(gateway.logs("classify", tail=2)) == 2

@@ -1,0 +1,82 @@
+"""Unit tests for function specs and Dockerfile parsing."""
+
+import pytest
+
+from repro.faas import Dockerfile, FunctionSpec, default_template
+
+
+class TestDockerfile:
+    def test_parse_basic(self):
+        df = Dockerfile.parse(
+            "FROM python:3.11\n"
+            "ENV GPU_ENABLE=1 MODE=prod\n"
+            'LABEL com.faas.gpu="true"\n'
+            "COPY handler.py /app/\n"
+            "RUN pip install numpy\n"
+        )
+        assert df.base_image == "python:3.11"
+        assert df.env == {"GPU_ENABLE": "1", "MODE": "prod"}
+        assert df.labels == {"com.faas.gpu": "true"}
+        assert len(df.steps) == 2
+
+    def test_gpu_flag_via_env(self):
+        assert Dockerfile.parse("FROM x\nENV GPU_ENABLE=1\n").gpu_enabled
+        assert Dockerfile.parse("FROM x\nENV GPU_ENABLE=true\n").gpu_enabled
+        assert not Dockerfile.parse("FROM x\nENV GPU_ENABLE=0\n").gpu_enabled
+        assert not Dockerfile.parse("FROM x\n").gpu_enabled
+
+    def test_gpu_flag_via_label(self):
+        assert Dockerfile.parse('FROM x\nLABEL com.faas.gpu="yes"\n').gpu_enabled
+
+    def test_legacy_env_space_form(self):
+        df = Dockerfile.parse("FROM x\nENV GPU_ENABLE 1\n")
+        assert df.env["GPU_ENABLE"] == "1"
+        assert df.gpu_enabled
+
+    def test_comments_and_blanks_ignored(self):
+        df = Dockerfile.parse("# a comment\n\nFROM img\n  # indented comment\n")
+        assert df.base_image == "img"
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(ValueError):
+            Dockerfile.parse("RUN echo hi\n")
+
+    def test_default_template_has_gpu_flag(self):
+        assert Dockerfile.parse(default_template(gpu=True)).gpu_enabled
+        assert not Dockerfile.parse(default_template(gpu=False)).gpu_enabled
+
+
+class TestFunctionSpec:
+    def test_inference_spec(self):
+        spec = FunctionSpec(name="classify", model_architecture="resnet50")
+        assert spec.is_inference
+        assert spec.gpu_enabled  # default template sets the flag
+
+    def test_plain_function_spec(self):
+        spec = FunctionSpec(
+            name="hello",
+            dockerfile=default_template(gpu=False),
+            handler=lambda x: f"hi {x}",
+        )
+        assert not spec.is_inference
+        assert not spec.gpu_enabled
+
+    def test_invalid_name(self):
+        with pytest.raises(ValueError):
+            FunctionSpec(name="")
+        with pytest.raises(ValueError):
+            FunctionSpec(name="a/b")
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            FunctionSpec(name="f", batch_size=0)
+
+    def test_invalid_replica_bounds(self):
+        with pytest.raises(ValueError):
+            FunctionSpec(name="f", min_replicas=5, max_replicas=2)
+        with pytest.raises(ValueError):
+            FunctionSpec(name="f", min_replicas=-1)
+
+    def test_negative_handler_time(self):
+        with pytest.raises(ValueError):
+            FunctionSpec(name="f", handler_time_s=-0.5)

@@ -1,0 +1,186 @@
+"""Full-scale integration tests: the paper's qualitative claims must hold.
+
+These run the complete evaluation pipeline (synthetic Azure trace → 12-GPU
+testbed → all three schedulers) at the paper's scale (325 requests/minute,
+6 minutes).  They assert the *shape* of every headline result — who wins,
+by roughly what factor, and how trends move with the working-set size —
+not absolute numbers (our substrate replays Table I latencies in a
+simulator, not on RTX 2080s).
+"""
+
+import pytest
+
+from repro.experiments import (
+    false_per_miss,
+    run_fig4,
+    run_fig7,
+)
+from repro.traces import SyntheticAzureTrace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return SyntheticAzureTrace()
+
+
+@pytest.fixture(scope="module")
+def grid(trace):
+    """The shared Figs. 4/5/6 sweep at full paper scale."""
+    return run_fig4(trace=trace)
+
+
+class TestFig4aLatency:
+    def test_lalb_beats_lb_by_an_order_of_magnitude(self, grid):
+        for ws in (15, 25, 35):
+            lb = grid[("lb", ws)].avg_latency_s
+            lalb = grid[("lalb", ws)].avg_latency_s
+            assert lalb < lb / 10, f"ws={ws}"
+
+    def test_lalb_reduction_band_ws15(self, grid):
+        """Paper: 97.74% at WS 15; accept >90%."""
+        lb = grid[("lb", 15)].avg_latency_s
+        lalb = grid[("lalb", 15)].avg_latency_s
+        assert (lb - lalb) / lb > 0.90
+
+    def test_lalbo3_at_least_as_good_as_lalb(self, grid):
+        for ws in (15, 25, 35):
+            assert (
+                grid[("lalbo3", ws)].avg_latency_s
+                <= grid[("lalb", ws)].avg_latency_s + 1e-9
+            )
+
+    def test_o3_helps_at_large_working_set(self, grid):
+        """Paper §V-B: O3 further improves WS 25/35 (not needed at 15)."""
+        assert grid[("lalbo3", 35)].avg_latency_s < grid[("lalb", 35)].avg_latency_s
+
+    def test_lalb_latency_grows_with_working_set(self, grid):
+        """Paper: LALB performance degrades as the working set grows."""
+        assert (
+            grid[("lalb", 15)].avg_latency_s
+            < grid[("lalb", 25)].avg_latency_s
+            < grid[("lalb", 35)].avg_latency_s
+        )
+
+
+class TestFig4bMissRatio:
+    def test_lalb_reduces_miss_ratio_strongly_at_ws15(self, grid):
+        """Paper: 94.11% reduction at WS 15; accept >85%."""
+        lb = grid[("lb", 15)].cache_miss_ratio
+        lalb = grid[("lalb", 15)].cache_miss_ratio
+        assert (lb - lalb) / lb > 0.85
+
+    def test_reduction_degrades_with_working_set(self, grid):
+        """Paper: 94.11% at WS 15 vs 65.21% at WS 35."""
+        red = {
+            ws: (grid[("lb", ws)].cache_miss_ratio - grid[("lalb", ws)].cache_miss_ratio)
+            / grid[("lb", ws)].cache_miss_ratio
+            for ws in (15, 35)
+        }
+        assert red[15] > red[35]
+
+    def test_lalbo3_beats_lalb_at_ws35(self, grid):
+        """Paper: LALBO3 reduces LB's miss ratio by 81% vs LALB's 65% at WS 35."""
+        assert grid[("lalbo3", 35)].cache_miss_ratio < grid[("lalb", 35)].cache_miss_ratio
+
+    def test_miss_ratio_grows_with_working_set_for_lalb(self, grid):
+        assert (
+            grid[("lalb", 15)].cache_miss_ratio
+            < grid[("lalb", 25)].cache_miss_ratio
+            < grid[("lalb", 35)].cache_miss_ratio
+        )
+
+
+class TestFig4cUtilization:
+    def test_locality_schedulers_have_highest_sm_utilization(self, grid):
+        for ws in (15, 25, 35):
+            assert grid[("lalbo3", ws)].sm_utilization > grid[("lb", ws)].sm_utilization
+
+    def test_sm_utilization_anticorrelates_with_miss_ratio(self, grid):
+        """§V-C: SM utilization negatively correlates with the miss ratio."""
+        import numpy as np
+
+        points = [(s.cache_miss_ratio, s.sm_utilization) for s in grid.values()]
+        miss, util = zip(*points)
+        assert np.corrcoef(miss, util)[0, 1] < -0.5
+
+    def test_utilization_stable_across_working_sets(self, grid):
+        """§V-C: per-scheduler SM utilization is consistent across the three
+        working sets (the request rate is pinned at 325/min)."""
+        for policy in ("lb", "lalb", "lalbo3"):
+            utils = [grid[(policy, ws)].sm_utilization for ws in (15, 25, 35)]
+            assert max(utils) - min(utils) < 0.1
+
+    def test_utilization_well_below_one(self, grid):
+        """§V-C: reaching 100% SM utilization is impossible here."""
+        assert all(s.sm_utilization < 0.95 for s in grid.values())
+
+
+class TestFig5FalseMiss:
+    def test_lb_has_the_worst_false_miss_ratio(self, grid):
+        for ws in (15, 25, 35):
+            lb = grid[("lb", ws)]
+            for policy in ("lalb", "lalbo3"):
+                assert grid[(policy, ws)].false_miss_ratio < lb.false_miss_ratio
+
+    def test_lb_misses_are_mostly_false_at_ws15(self, grid):
+        """Paper: LB's false-miss ratio approaches 96% — most of its misses
+        re-load a model that sits on another GPU."""
+        assert false_per_miss(grid[("lb", 15)]) > 0.6
+
+    def test_lalbo3_no_worse_than_lalb(self, grid):
+        for ws in (15, 25, 35):
+            assert (
+                grid[("lalbo3", ws)].false_miss_ratio
+                <= grid[("lalb", ws)].false_miss_ratio + 1e-9
+            )
+
+
+class TestFig6Duplicates:
+    def test_bounded_by_gpu_count(self, grid):
+        assert all(s.avg_duplicates_top_model <= 12.0 for s in grid.values())
+
+    def test_lalb_halves_lb_duplicates_at_ws15(self, grid):
+        """Paper: 48.96% reduction at WS 15; accept >30%."""
+        lb = grid[("lb", 15)].avg_duplicates_top_model
+        lalb = grid[("lalb", 15)].avg_duplicates_top_model
+        assert (lb - lalb) / lb > 0.30
+
+    def test_lb_always_has_most_duplicates(self, grid):
+        for ws in (15, 25, 35):
+            lb = grid[("lb", ws)].avg_duplicates_top_model
+            assert grid[("lalb", ws)].avg_duplicates_top_model < lb
+            assert grid[("lalbo3", ws)].avg_duplicates_top_model < lb
+
+
+class TestFig7O3Sensitivity:
+    @pytest.fixture(scope="class")
+    def sweep(self, trace):
+        return run_fig7(limits=(0, 15, 45), trace=trace)
+
+    def test_limit45_beats_limit0_on_all_metrics(self, sweep):
+        """Paper: limit 45 cuts latency 85%, miss ratio 46%, variance 96%
+        vs limit 0; we assert the direction of each."""
+        assert sweep[45].avg_latency_s < sweep[0].avg_latency_s
+        assert sweep[45].cache_miss_ratio < sweep[0].cache_miss_ratio
+        assert sweep[45].latency_variance < sweep[0].latency_variance
+
+    def test_limit0_equals_lalb(self, sweep, grid):
+        """§V-E: with the limit set to zero, LALBO3 reduces to LALB."""
+        assert sweep[0].avg_latency_s == pytest.approx(
+            grid[("lalb", 35)].avg_latency_s
+        )
+        assert sweep[0].cache_miss_ratio == pytest.approx(
+            grid[("lalb", 35)].cache_miss_ratio
+        )
+
+
+class TestHeadline:
+    def test_order_of_magnitude_speedup(self, grid):
+        """Abstract: 'a speedup of 48x compared to the default ... scheduler'
+        — we assert >10x at every working set."""
+        for ws in (15, 25, 35):
+            speedup = grid[("lb", ws)].avg_latency_s / grid[("lalbo3", ws)].avg_latency_s
+            assert speedup > 10, f"ws={ws}: {speedup:.1f}x"
+
+    def test_every_request_completes(self, grid):
+        assert all(s.completed_requests == 1950 for s in grid.values())

@@ -1,0 +1,83 @@
+"""Unit tests for the metrics collector (duplicates integral, completions)."""
+
+import pytest
+
+from repro.metrics import MetricsCollector
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def collector(sim):
+    return MetricsCollector(sim)
+
+
+class TestDuplicatesTracking:
+    def test_time_weighted_average(self, sim, collector):
+        # model on 1 GPU for [0,4), 2 GPUs for [4,8), horizon 8 → (4*1+4*2)/8
+        collector.on_cache_event("load", "g0", "m", 0.0)
+        sim.schedule(4.0, collector.on_cache_event, "load", "g1", "m", 4.0)
+        sim.schedule(8.0, lambda: None)
+        sim.run()
+        assert collector.average_duplicates("m") == pytest.approx(1.5)
+        assert collector.current_duplicates("m") == 2
+        assert collector.peak_duplicates("m") == 2
+
+    def test_eviction_reduces_count(self, sim, collector):
+        collector.on_cache_event("load", "g0", "m", 0.0)
+        sim.schedule(2.0, collector.on_cache_event, "evict", "g0", "m", 2.0)
+        sim.schedule(4.0, lambda: None)
+        sim.run()
+        # 2s at 1 copy, 2s at 0 → 0.5 average
+        assert collector.average_duplicates("m") == pytest.approx(0.5)
+        assert collector.current_duplicates("m") == 0
+
+    def test_use_events_do_not_change_residency(self, sim, collector):
+        collector.on_cache_event("load", "g0", "m", 0.0)
+        collector.on_cache_event("use", "g0", "m", 0.0)
+        assert collector.current_duplicates("m") == 1
+        assert collector.cache_events == 2
+
+    def test_negative_residency_detected(self, collector):
+        with pytest.raises(RuntimeError):
+            collector.on_cache_event("evict", "g0", "ghost", 0.0)
+
+    def test_unknown_model_zero(self, sim, collector):
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        assert collector.average_duplicates("ghost") == 0.0
+        assert collector.peak_duplicates("ghost") == 0
+
+    def test_explicit_horizon_extends_open_interval(self, sim, collector):
+        """A resident model stays counted through the explicit horizon."""
+        collector.on_cache_event("load", "g0", "m", 0.0)
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        assert collector.average_duplicates("m", horizon=10.0) == pytest.approx(1.0)
+        # evicted at 5 → only half the horizon is covered
+        collector.on_cache_event("evict", "g0", "m", 5.0)
+        assert collector.average_duplicates("m", horizon=10.0) == pytest.approx(0.5)
+
+    def test_zero_duration(self, collector):
+        assert collector.average_duplicates("m") == 0.0
+
+
+class TestCompletions:
+    def test_on_complete_requires_completion(self, collector, make_request):
+        with pytest.raises(ValueError):
+            collector.on_complete(make_request())
+
+    def test_most_invoked_model(self, collector, make_request):
+        for i, arch in enumerate(["alexnet", "alexnet", "vgg19"]):
+            r = make_request(f"fn-{arch}", arch, arrival=0.0)
+            r.dispatched_at = 0.0
+            r.completed_at = 1.0
+            collector.on_complete(r)
+        assert collector.most_invoked_model() == "fn-alexnet"
+
+    def test_most_invoked_empty(self, collector):
+        assert collector.most_invoked_model() is None

@@ -1,0 +1,102 @@
+"""Unit tests for the timeline sampler."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.metrics.timeline import TimelineSampler
+from repro.runtime import FaaSCluster, SystemConfig
+from repro.traces import AzureTraceConfig, SyntheticAzureTrace, WorkloadSpec, build_workload
+
+
+@pytest.fixture
+def system():
+    return FaaSCluster(SystemConfig(cluster=ClusterSpec.homogeneous(1, 2), policy="lalbo3"))
+
+
+def run_small_workload(system, sampler_period=5.0):
+    trace = SyntheticAzureTrace(
+        AzureTraceConfig(num_functions=100, mean_rate_per_minute=500, seed=4)
+    )
+    wl = build_workload(
+        WorkloadSpec(working_set=4, minutes=2, requests_per_minute=30), trace=trace
+    )
+    sampler = TimelineSampler(system, period_s=sampler_period)
+    sampler.start()
+    for r in wl.requests:
+        system.submit_at(r)
+    system.run(until=wl.duration_s)
+    sampler.stop()
+    system.run()
+    return sampler, wl
+
+
+class TestSampling:
+    def test_samples_on_schedule(self, system):
+        sampler, wl = run_small_workload(system, sampler_period=10.0)
+        times = sampler.series("time_s")
+        assert len(times) == 12  # 120 s / 10 s
+        np.testing.assert_allclose(np.diff(times), 10.0)
+
+    def test_gpu_state_partition(self, system):
+        sampler, _ = run_small_workload(system)
+        total = len(system.cluster.gpus)
+        idle = sampler.series("gpus_idle")
+        load = sampler.series("gpus_loading")
+        infer = sampler.series("gpus_inferring")
+        np.testing.assert_array_equal(idle + load + infer, total)
+
+    def test_completed_monotone(self, system):
+        sampler, _ = run_small_workload(system)
+        done = sampler.series("completed_requests")
+        assert np.all(np.diff(done) >= 0)
+        assert done[-1] > 0
+
+    def test_instantaneous_utilization_bounded(self, system):
+        sampler, _ = run_small_workload(system)
+        util = sampler.instantaneous_sm_utilization()
+        assert np.all(util >= 0) and np.all(util <= 1)
+        assert util.max() > 0  # the workload actually used the GPUs
+
+    def test_interval_miss_ratio(self, system):
+        sampler, _ = run_small_workload(system)
+        ratios = sampler.interval_miss_ratio()
+        finite = ratios[~np.isnan(ratios)]
+        assert np.all((finite >= 0) & (finite <= 1))
+        # the first active interval contains compulsory (cold) misses
+        assert finite[0] > 0
+
+    def test_stop_halts_sampling(self, system):
+        sampler = TimelineSampler(system, period_s=1.0)
+        sampler.start()
+        system.run(until=3.0)
+        sampler.stop()
+        system.sim.schedule(5.0, lambda: None)
+        system.run()
+        assert len(sampler.samples) == 3
+
+
+class TestAccessors:
+    def test_unknown_field_rejected(self, system):
+        sampler, _ = run_small_workload(system)
+        with pytest.raises(KeyError):
+            sampler.series("bogus")
+
+    def test_empty_series(self, system):
+        sampler = TimelineSampler(system)
+        assert sampler.series("time_s").size == 0
+        assert sampler.peak_queue_depth() == 0
+
+    def test_peak_queue_depth(self, system):
+        sampler, _ = run_small_workload(system)
+        assert sampler.peak_queue_depth() >= 0
+
+    def test_to_rows(self, system):
+        sampler, _ = run_small_workload(system)
+        rows = sampler.to_rows()
+        assert len(rows) == len(sampler.samples)
+        assert "global_queue_depth" in rows[0]
+
+    def test_invalid_period(self, system):
+        with pytest.raises(ValueError):
+            TimelineSampler(system, period_s=0)

@@ -1,0 +1,115 @@
+"""Unit tests for residual blocks and the residual model factory."""
+
+import numpy as np
+import pytest
+
+from repro.models.nn import AvgPool2D, Dropout, ResidualBlock, build_residual_model
+
+rng = np.random.default_rng(7)
+
+
+class TestResidualBlock:
+    def test_same_channel_shape_preserved(self):
+        block = ResidualBlock(8, 8, rng=np.random.default_rng(1))
+        x = rng.standard_normal((2, 8, 10, 10))
+        assert block(x).shape == (2, 8, 10, 10)
+
+    def test_channel_change_uses_projection(self):
+        block = ResidualBlock(4, 8, rng=np.random.default_rng(1))
+        assert block.projection is not None
+        x = rng.standard_normal((1, 4, 8, 8))
+        assert block(x).shape == (1, 8, 8, 8)
+
+    def test_stride_downsamples_both_paths(self):
+        block = ResidualBlock(4, 4, stride=2, rng=np.random.default_rng(1))
+        assert block.projection is not None  # stride forces a projection
+        x = rng.standard_normal((1, 4, 8, 8))
+        assert block(x).shape == (1, 4, 4, 4)
+
+    def test_identity_skip_when_branch_is_zero(self):
+        """Zeroing the branch weights must make the block relu(x) + 0."""
+        block = ResidualBlock(3, 3, rng=np.random.default_rng(1))
+        block.conv2.weight[:] = 0.0
+        block.conv2.bias[:] = 0.0
+        x = np.abs(rng.standard_normal((1, 3, 6, 6)))  # positive → relu no-op
+        np.testing.assert_allclose(block(x), x, rtol=1e-9)
+
+    def test_output_nonnegative(self):
+        block = ResidualBlock(3, 6, rng=np.random.default_rng(2))
+        out = block(rng.standard_normal((2, 3, 8, 8)))
+        assert np.all(out >= 0)  # final ReLU
+
+    def test_parameter_count_includes_projection(self):
+        plain = ResidualBlock(8, 8)
+        proj = ResidualBlock(4, 8)
+        assert proj.num_parameters > 0
+        # projection adds 1x1 conv params
+        assert proj.projection.num_parameters == 8 * 4 * 1 * 1 + 8
+
+
+class TestDropout:
+    def test_identity_at_inference(self):
+        x = rng.standard_normal((3, 5))
+        np.testing.assert_array_equal(Dropout(0.5)(x), x)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+
+class TestAvgPool2D:
+    def test_values(self):
+        x = np.array([[[[1.0, 3.0], [5.0, 7.0]]]])
+        out = AvgPool2D(2)(x)
+        np.testing.assert_allclose(out, [[[[4.0]]]])
+
+    def test_shape_with_stride(self):
+        x = rng.standard_normal((1, 2, 8, 8))
+        assert AvgPool2D(2, stride=2)(x).shape == (1, 2, 4, 4)
+
+    def test_too_small_input(self):
+        with pytest.raises(ValueError):
+            AvgPool2D(4)(rng.standard_normal((1, 1, 2, 2)))
+
+    def test_invalid_kernel(self):
+        with pytest.raises(ValueError):
+            AvgPool2D(0)
+
+    def test_average_never_exceeds_max(self):
+        x = rng.standard_normal((2, 3, 6, 6))
+        out = AvgPool2D(2)(x)
+        assert out.max() <= x.max() + 1e-12
+
+
+class TestResidualFactory:
+    def test_builds_for_resnet_families(self):
+        net = build_residual_model("resnet50")
+        out = net.forward(rng.standard_normal((2, 3, 32, 32)))
+        assert out.shape == (2, 10)
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, rtol=1e-9)
+
+    def test_wideresnet_and_resnext(self):
+        for arch in ("wideresnet502", "resnext50.32x4d"):
+            net = build_residual_model(arch)
+            assert net.forward(rng.standard_normal((1, 3, 32, 32))).shape == (1, 10)
+
+    def test_non_residual_family_rejected(self):
+        with pytest.raises(ValueError):
+            build_residual_model("vgg16")
+
+    def test_unknown_architecture_rejected(self):
+        with pytest.raises(KeyError):
+            build_residual_model("resnet9000")
+
+    def test_deterministic(self):
+        x = rng.standard_normal((1, 3, 32, 32))
+        a = build_residual_model("resnet18", seed=5).forward(x)
+        b = build_residual_model("resnet18", seed=5).forward(x)
+        np.testing.assert_array_equal(a, b)
+
+    def test_depth_ordering(self):
+        shallow = build_residual_model("resnet18").num_parameters
+        deep = build_residual_model("resnet152").num_parameters
+        assert shallow < deep

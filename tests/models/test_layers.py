@@ -1,0 +1,148 @@
+"""Unit tests for NumPy inference layers, cross-checked against scipy."""
+
+import numpy as np
+import pytest
+from scipy import signal
+
+from repro.models.nn import (
+    BatchNorm2D,
+    Conv2D,
+    Flatten,
+    GlobalAvgPool,
+    Linear,
+    MaxPool2D,
+    ReLU,
+    Softmax,
+    im2col,
+)
+
+rng = np.random.default_rng(42)
+
+
+class TestIm2Col:
+    def test_shape(self):
+        x = rng.standard_normal((2, 3, 8, 8))
+        cols = im2col(x, 3, 3, stride=1, padding=0)
+        assert cols.shape == (2, 3 * 3 * 3, 6 * 6)
+
+    def test_stride_and_padding_shape(self):
+        x = rng.standard_normal((1, 1, 7, 7))
+        cols = im2col(x, 3, 3, stride=2, padding=1)
+        assert cols.shape == (1, 9, 16)  # out 4x4
+
+    def test_identity_kernel_window_content(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        cols = im2col(x, 2, 2, stride=2, padding=0)
+        # first window is [[0,1],[4,5]]
+        np.testing.assert_array_equal(cols[0, :, 0], [0, 1, 4, 5])
+
+    def test_kernel_too_large_rejected(self):
+        x = rng.standard_normal((1, 1, 2, 2))
+        with pytest.raises(ValueError):
+            im2col(x, 3, 3, stride=1, padding=0)
+
+
+class TestConv2D:
+    def test_matches_scipy_correlate(self):
+        """Conv2D must equal per-channel scipy cross-correlation."""
+        conv = Conv2D(3, 4, 3, rng=np.random.default_rng(1))
+        x = rng.standard_normal((2, 3, 10, 10))
+        out = conv(x)
+        assert out.shape == (2, 4, 8, 8)
+        for n in range(2):
+            for oc in range(4):
+                want = sum(
+                    signal.correlate2d(x[n, ic], conv.weight[oc, ic], mode="valid")
+                    for ic in range(3)
+                ) + conv.bias[oc]
+                np.testing.assert_allclose(out[n, oc], want, rtol=1e-10)
+
+    def test_padding_preserves_spatial_size(self):
+        conv = Conv2D(1, 1, 3, padding=1)
+        x = rng.standard_normal((1, 1, 5, 5))
+        assert conv(x).shape == (1, 1, 5, 5)
+
+    def test_stride_downsamples(self):
+        conv = Conv2D(1, 2, 3, stride=2, padding=1)
+        x = rng.standard_normal((1, 1, 8, 8))
+        assert conv(x).shape == (1, 2, 4, 4)
+
+    def test_wrong_channel_count_rejected(self):
+        conv = Conv2D(3, 4, 3)
+        with pytest.raises(ValueError):
+            conv(rng.standard_normal((1, 2, 8, 8)))
+
+    def test_parameter_count(self):
+        conv = Conv2D(3, 8, 5)
+        assert conv.num_parameters == 8 * 3 * 5 * 5 + 8
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            Conv2D(0, 1, 3)
+        with pytest.raises(ValueError):
+            Conv2D(1, 1, 3, padding=-1)
+
+    def test_deterministic_in_seed(self):
+        a = Conv2D(2, 2, 3, rng=np.random.default_rng(7))
+        b = Conv2D(2, 2, 3, rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(a.weight, b.weight)
+
+
+class TestPooling:
+    def test_maxpool_values(self):
+        x = np.array([[[[1, 2, 5, 6], [3, 4, 7, 8], [0, 0, 1, 1], [0, 0, 2, 3]]]], dtype=float)
+        out = MaxPool2D(2)(x)
+        np.testing.assert_array_equal(out[0, 0], [[4, 8], [0, 3]])
+
+    def test_maxpool_stride_defaults_to_kernel(self):
+        assert MaxPool2D(3).stride == 3
+
+    def test_maxpool_too_small_input(self):
+        with pytest.raises(ValueError):
+            MaxPool2D(4)(rng.standard_normal((1, 1, 2, 2)))
+
+    def test_global_avg_pool(self):
+        x = np.ones((2, 3, 4, 4))
+        out = GlobalAvgPool()(x)
+        assert out.shape == (2, 3)
+        np.testing.assert_allclose(out, 1.0)
+
+
+class TestOtherLayers:
+    def test_relu_clamps_negatives(self):
+        out = ReLU()(np.array([-1.0, 0.0, 2.0]))
+        np.testing.assert_array_equal(out, [0.0, 0.0, 2.0])
+
+    def test_batchnorm_identity_by_default(self):
+        bn = BatchNorm2D(3)
+        x = rng.standard_normal((2, 3, 4, 4))
+        np.testing.assert_allclose(bn(x), x, rtol=1e-5, atol=1e-5)
+
+    def test_batchnorm_normalizes_with_running_stats(self):
+        bn = BatchNorm2D(1)
+        bn.running_mean[:] = 5.0
+        bn.running_var[:] = 4.0
+        x = np.full((1, 1, 2, 2), 9.0)
+        np.testing.assert_allclose(bn(x), (9.0 - 5.0) / 2.0, rtol=1e-3)
+
+    def test_flatten(self):
+        out = Flatten()(np.zeros((2, 3, 4, 4)))
+        assert out.shape == (2, 48)
+
+    def test_linear_matches_manual_matmul(self):
+        lin = Linear(4, 3, rng=np.random.default_rng(1))
+        x = rng.standard_normal((5, 4))
+        np.testing.assert_allclose(lin(x), x @ lin.weight.T + lin.bias)
+
+    def test_linear_dimension_check(self):
+        with pytest.raises(ValueError):
+            Linear(4, 3)(rng.standard_normal((2, 5)))
+
+    def test_softmax_rows_sum_to_one(self):
+        out = Softmax()(rng.standard_normal((6, 10)) * 50)
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, rtol=1e-9)
+        assert np.all(out >= 0)
+
+    def test_softmax_is_shift_invariant(self):
+        x = rng.standard_normal((2, 5))
+        np.testing.assert_allclose(Softmax()(x), Softmax()(x + 1000.0), rtol=1e-6)

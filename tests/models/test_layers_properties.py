@@ -1,0 +1,93 @@
+"""Property-based tests for the NumPy inference layers."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.models.nn import Conv2D, MaxPool2D, ReLU, Softmax, im2col
+
+_small_images = arrays(
+    dtype=np.float64,
+    shape=st.tuples(
+        st.integers(1, 3),  # N
+        st.integers(1, 3),  # C
+        st.integers(4, 9),  # H
+        st.integers(4, 9),  # W
+    ),
+    elements=st.floats(-10, 10, allow_nan=False),
+)
+
+
+@given(_small_images, st.integers(1, 3), st.integers(1, 2), st.integers(0, 1))
+@settings(max_examples=40, deadline=None)
+def test_im2col_matches_naive_loop(x, k, stride, padding):
+    """The strided im2col must agree with an explicit Python-loop gather."""
+    n, c, h, w = x.shape
+    xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    hp, wp = h + 2 * padding, w + 2 * padding
+    if hp < k or wp < k:
+        return
+    cols = im2col(x, k, k, stride, padding)
+    out_h = (hp - k) // stride + 1
+    out_w = (wp - k) // stride + 1
+    for i in range(out_h):
+        for j in range(out_w):
+            window = xp[:, :, i * stride : i * stride + k, j * stride : j * stride + k]
+            np.testing.assert_allclose(
+                cols[:, :, i * out_w + j], window.reshape(n, c * k * k)
+            )
+
+
+@given(_small_images)
+@settings(max_examples=30, deadline=None)
+def test_relu_is_idempotent_and_nonnegative(x):
+    relu = ReLU()
+    once = relu(x)
+    assert np.all(once >= 0)
+    np.testing.assert_array_equal(relu(once), once)
+
+
+@given(_small_images)
+@settings(max_examples=30, deadline=None)
+def test_maxpool_never_exceeds_input_max(x):
+    if x.shape[2] < 2 or x.shape[3] < 2:
+        return
+    out = MaxPool2D(2)(x)
+    assert out.max() <= x.max() + 1e-12
+    assert out.min() >= x.min() - 1e-12
+
+
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 4), st.integers(2, 8)),
+        elements=st.floats(-30, 30, allow_nan=False),
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_softmax_is_a_probability_distribution(x):
+    p = Softmax()(x)
+    np.testing.assert_allclose(p.sum(axis=-1), 1.0, rtol=1e-9)
+    assert np.all(p >= 0)
+    # order preservation: argmax of logits == argmax of probabilities
+    # (only asserted for rows whose maximum is unique by a clear margin —
+    # float round-off can flip ties)
+    for row_x, row_p in zip(x, p):
+        top = np.sort(row_x)
+        if top[-1] - top[-2] > 1e-6:
+            assert row_p.argmax() == row_x.argmax()
+
+
+@given(st.integers(1, 3), st.integers(1, 4), st.integers(0, 2), st.integers(1, 2))
+@settings(max_examples=25, deadline=None)
+def test_conv_linearity(in_ch, out_ch, padding, stride):
+    """Convolution is linear: conv(a*x + b*y) == a*conv0(x) + b*conv0(y) (zero bias)."""
+    rng = np.random.default_rng(0)
+    conv = Conv2D(in_ch, out_ch, 3, stride=stride, padding=padding, rng=rng)
+    conv.bias[:] = 0.0
+    x = rng.standard_normal((2, in_ch, 8, 8))
+    y = rng.standard_normal((2, in_ch, 8, 8))
+    lhs = conv(2.0 * x - 3.0 * y)
+    rhs = 2.0 * conv(x) - 3.0 * conv(y)
+    np.testing.assert_allclose(lhs, rhs, rtol=1e-9, atol=1e-9)

@@ -1,0 +1,121 @@
+"""Unit tests for networks, the architecture factory, and the profiler."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import PCIeModel
+from repro.models import profile_network
+from repro.models.nn import FAMILY_SPECS, Network, ReLU, available_architectures, build_model
+
+rng = np.random.default_rng(0)
+
+
+class TestNetwork:
+    def test_forward_outputs_probabilities(self):
+        net = build_model("alexnet", num_classes=10)
+        out = net.forward(rng.standard_normal((4, 3, 32, 32)))
+        assert out.shape == (4, 10)
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, rtol=1e-9)
+
+    def test_predict_returns_labels(self):
+        net = build_model("squeezenet1.1", num_classes=7)
+        labels = net.predict(rng.standard_normal((5, 3, 32, 32)))
+        assert labels.shape == (5,)
+        assert set(labels) <= set(range(7))
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ValueError):
+            Network("empty", [])
+
+    def test_memory_estimate_positive_and_scales_with_headroom(self):
+        net = build_model("resnet18")
+        assert net.memory_mb(1.0) < net.memory_mb(3.0)
+        with pytest.raises(ValueError):
+            net.memory_mb(0.5)
+
+    def test_forward_deterministic(self):
+        x = rng.standard_normal((2, 3, 32, 32))
+        a = build_model("vgg11", seed=3).forward(x)
+        b = build_model("vgg11", seed=3).forward(x)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestFactory:
+    def test_covers_all_table1_architectures(self):
+        from repro.models import model_names
+
+        assert set(available_architectures()) == set(model_names())
+
+    def test_unknown_architecture_rejected(self):
+        with pytest.raises(KeyError):
+            build_model("resnet9000")
+
+    def test_family_compute_ordering(self):
+        """Bigger families must have more parameters (so compute ranks like Table I)."""
+        small = build_model("squeezenet1.1").num_parameters
+        mid = build_model("resnet50").num_parameters
+        big = build_model("vgg19").num_parameters
+        assert small < mid < big
+
+    def test_small_mnist_style_input(self):
+        net = build_model("vgg19", in_channels=1, input_size=28)
+        out = net.forward(rng.standard_normal((2, 1, 28, 28)))
+        assert out.shape == (2, 10)
+
+    def test_input_size_one_never_pools(self):
+        net = build_model("resnet18", input_size=1)
+        out = net.forward(rng.standard_normal((1, 3, 1, 1)))
+        assert out.shape == (1, 10)
+
+    def test_invalid_input_size(self):
+        with pytest.raises(ValueError):
+            build_model("resnet18", input_size=0)
+
+    def test_batchnorm_families_contain_bn(self):
+        from repro.models.nn import BatchNorm2D
+
+        bn_net = build_model("resnet18")
+        plain = build_model("vgg11")
+        assert any(isinstance(l, BatchNorm2D) for l in bn_net.layers)
+        assert not any(isinstance(l, BatchNorm2D) for l in plain.layers)
+
+
+class TestProfiler:
+    def test_profile_network_produces_valid_profile(self):
+        net = build_model("squeezenet1.1")
+        wp = profile_network(net, batch_sizes=(1, 2, 4), repeats=1)
+        p = wp.profile
+        assert p.name == "squeezenet1.1"
+        assert p.occupied_mb > 0
+        assert p.load_time_s > 0
+        assert len(wp.measured_s) == 3
+        # latency at larger batch must not be cheaper than the fitted intercept
+        assert p.infer_time(4) >= p.regression.intercept
+
+    def test_profile_monotone_regression(self):
+        net = build_model("alexnet")
+        wp = profile_network(net, batch_sizes=(1, 4, 8), repeats=1)
+        assert wp.profile.infer_time(8) >= wp.profile.infer_time(1)
+
+    def test_load_time_uses_pcie_model(self):
+        net = build_model("squeezenet1.1")
+        slow = profile_network(net, batch_sizes=(1, 2), repeats=1, pcie=PCIeModel(100.0, 5.0))
+        fast = profile_network(net, batch_sizes=(1, 2), repeats=1, pcie=PCIeModel(10000.0, 0.1))
+        assert slow.profile.load_time_s > fast.profile.load_time_s
+
+    def test_profiler_argument_validation(self):
+        net = build_model("squeezenet1.1")
+        with pytest.raises(ValueError):
+            profile_network(net, batch_sizes=(1,))
+        with pytest.raises(ValueError):
+            profile_network(net, repeats=0)
+
+
+def test_family_specs_are_sane():
+    for name, (width, blocks, _) in FAMILY_SPECS.items():
+        assert width >= 4, name
+        assert 1 <= blocks <= 6, name
+
+
+def test_relu_layer_has_no_parameters():
+    assert ReLU().num_parameters == 0

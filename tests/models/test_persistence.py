@@ -1,0 +1,88 @@
+"""Unit tests for profile registry persistence."""
+
+import pytest
+
+from repro.cluster import GPUTypeSpec, PCIeModel
+from repro.models import ProfileRegistry
+from repro.models.persistence import load_registry, save_registry
+
+
+@pytest.fixture
+def registry():
+    fast = GPUTypeSpec(
+        name="a100", memory_mb=40000, pcie=PCIeModel(6456.0, 0.8), speed_factor=0.4
+    )
+    return ProfileRegistry.from_table1([fast])
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_everything(self, tmp_path, registry):
+        path = tmp_path / "profiles.json"
+        save_registry(path, registry)
+        back = load_registry(path)
+        assert len(back) == len(registry) == 44
+        assert back.architectures() == registry.architectures()
+        assert back.gpu_types() == {"rtx2080", "a100"}
+        for arch in ("vgg19", "squeezenet1.1"):
+            for gpu_type in ("rtx2080", "a100"):
+                a = registry.get(arch, gpu_type)
+                b = back.get(arch, gpu_type)
+                assert b.occupied_mb == a.occupied_mb
+                assert b.load_time_s == a.load_time_s
+                assert b.infer_time(32) == pytest.approx(a.infer_time(32))
+                assert b.infer_time(8) == pytest.approx(a.infer_time(8))
+
+    def test_file_is_stable_json(self, tmp_path, registry):
+        p1 = tmp_path / "a.json"
+        p2 = tmp_path / "b.json"
+        save_registry(p1, registry)
+        save_registry(p2, registry)
+        assert p1.read_text() == p2.read_text()  # deterministic output
+
+
+class TestErrors:
+    def test_empty_registry_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_registry(tmp_path / "x.json", ProfileRegistry())
+
+    def test_garbage_file_rejected(self, tmp_path):
+        p = tmp_path / "x.json"
+        p.write_text("not json at all {")
+        with pytest.raises(ValueError, match="not a profile registry"):
+            load_registry(p)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        p = tmp_path / "x.json"
+        p.write_text('{"format_version": 99, "profiles": []}')
+        with pytest.raises(ValueError, match="unsupported"):
+            load_registry(p)
+
+    def test_malformed_entry_rejected(self, tmp_path):
+        p = tmp_path / "x.json"
+        p.write_text('{"format_version": 1, "profiles": [{"name": "x"}]}')
+        with pytest.raises(ValueError, match="malformed"):
+            load_registry(p)
+
+    def test_empty_profile_list_rejected(self, tmp_path):
+        p = tmp_path / "x.json"
+        p.write_text('{"format_version": 1, "profiles": []}')
+        with pytest.raises(ValueError, match="no profiles"):
+            load_registry(p)
+
+
+def test_workload_describe():
+    """Workload.describe reports the §V-A.1 quantities."""
+    from repro.traces import AzureTraceConfig, SyntheticAzureTrace, WorkloadSpec, build_workload
+
+    trace = SyntheticAzureTrace(
+        AzureTraceConfig(num_functions=200, mean_rate_per_minute=1500, seed=3)
+    )
+    wl = build_workload(WorkloadSpec(working_set=15, minutes=2), trace=trace)
+    d = wl.describe()
+    assert d["working_set"] == 15
+    assert d["total_requests"] == 650
+    assert d["requests_per_minute"] == 325
+    assert 0 < d["top_function_share"] < 1
+    assert d["top15_share"] == pytest.approx(1.0)  # WS 15 → the top 15 are everything
+    assert d["distinct_architectures"] == 15
+    assert d["total_model_footprint_mb"] > 20_000

@@ -1,0 +1,202 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import math
+
+import pytest
+
+from repro.sim import SimError, Simulator
+
+
+def test_initial_clock_is_zero():
+    assert Simulator().now == 0.0
+
+
+def test_custom_start_time():
+    assert Simulator(start_time=5.0).now == 5.0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(3.0, fired.append, "c")
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    fired = []
+    for tag in range(10):
+        sim.schedule(1.0, fired.append, tag)
+    sim.run()
+    assert fired == list(range(10))
+
+
+def test_priority_breaks_same_time_ties():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "late", priority=1)
+    sim.schedule(1.0, fired.append, "early", priority=-1)
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimError):
+        Simulator().schedule(-0.1, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator(start_time=10.0)
+    with pytest.raises(SimError):
+        sim.schedule_at(9.9, lambda: None)
+
+
+def test_nan_time_rejected():
+    with pytest.raises(SimError):
+        Simulator().schedule_at(float("nan"), lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(1.0, fired.append, "x")
+    ev.cancel()
+    sim.run()
+    assert fired == []
+    assert sim.now == 0.0  # cancelled events do not advance the clock
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    ev = sim.schedule(1.0, lambda: None)
+    ev.cancel()
+    ev.cancel()
+    sim.run()
+
+
+def test_events_scheduled_during_run_fire():
+    sim = Simulator()
+    fired = []
+
+    def outer():
+        fired.append("outer")
+        sim.schedule(1.0, fired.append, "inner")
+
+    sim.schedule(1.0, outer)
+    sim.run()
+    assert fired == ["outer", "inner"]
+    assert sim.now == 2.0
+
+
+def test_call_soon_runs_after_pending_same_time_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(0.0, fired.append, "first")
+    sim.call_soon(fired.append, "second")
+    sim.run()
+    assert fired == ["first", "second"]
+
+
+def test_run_until_stops_and_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(5.0, fired.append, "b")
+    sim.run(until=2.5)
+    assert fired == ["a"]
+    assert sim.now == 2.5
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_run_until_includes_events_exactly_at_until():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, fired.append, "edge")
+    sim.run(until=2.0)
+    assert fired == ["edge"]
+
+
+def test_step_returns_false_when_empty():
+    assert Simulator().step() is False
+
+
+def test_step_fires_single_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(2.0, fired.append, 2)
+    assert sim.step() is True
+    assert fired == [1]
+    assert sim.now == 1.0
+
+
+def test_peek_returns_next_event_time():
+    sim = Simulator()
+    assert sim.peek() == math.inf
+    sim.schedule(4.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.peek() == 2.0
+
+
+def test_peek_skips_cancelled():
+    sim = Simulator()
+    ev = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    ev.cancel()
+    assert sim.peek() == 2.0
+
+
+def test_len_counts_pending_non_cancelled():
+    sim = Simulator()
+    ev = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert len(sim) == 2
+    ev.cancel()
+    assert len(sim) == 1
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule(1.0, forever)
+
+    sim.schedule(1.0, forever)
+    with pytest.raises(SimError):
+        sim.run(max_events=100)
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+
+    def reenter():
+        sim.run()
+
+    sim.schedule(1.0, reenter)
+    with pytest.raises(SimError):
+        sim.run()
+
+
+def test_processed_events_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.processed_events == 5
+
+
+def test_drain_yields_pending_events_without_firing():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    ev = sim.schedule(2.0, fired.append, "b")
+    ev.cancel()
+    drained = list(sim.drain())
+    assert len(drained) == 1
+    assert fired == []
+    assert sim.step() is False

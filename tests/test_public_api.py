@@ -1,0 +1,42 @@
+"""The package's public API surface must stay importable and coherent."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_readme_quickstart_flow():
+    system = repro.FaaSCluster(repro.SystemConfig(policy="lalbo3"))
+    gateway = repro.Gateway(system)
+    gateway.register(repro.FunctionSpec(name="classify", model_architecture="resnet50"))
+    cold = gateway.invoke("classify")
+    system.run()
+    warm = gateway.invoke("classify")
+    system.run()
+    assert warm.latency < cold.latency
+    assert cold.status is repro.InvocationStatus.SUCCEEDED
+
+
+def test_paper_testbed_constant():
+    assert repro.PAPER_TESTBED.total_gpus == 12
+
+
+def test_subpackages_importable():
+    import repro.cluster
+    import repro.core
+    import repro.datastore
+    import repro.experiments
+    import repro.faas
+    import repro.metrics
+    import repro.models
+    import repro.sim
+    import repro.traces
+
+    assert repro.sim.Simulator is not None

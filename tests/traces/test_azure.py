@@ -1,0 +1,116 @@
+"""Unit tests for the synthetic Azure trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.traces import AzureTraceConfig, SyntheticAzureTrace, calibrate_zipf_exponent
+
+
+class TestCalibration:
+    def test_top15_share_matches_paper(self):
+        s = calibrate_zipf_exponent()
+        trace = SyntheticAzureTrace()
+        assert trace.share_of_top(15) == pytest.approx(0.56, abs=1e-6)
+        assert s > 0
+
+    def test_far_tail_below_paper_bound(self):
+        """The far tail satisfies the paper's <0.01%-per-function bound,
+        while ranks 16-35 keep meaningful traffic for the working-set
+        experiments (see azure.py docstring for the interpretation)."""
+        trace = SyntheticAzureTrace()
+        assert trace.weights[600:].max() < 1e-4
+        assert trace.weights[15:35].min() > 1e-3
+
+    def test_weights_are_a_distribution(self):
+        trace = SyntheticAzureTrace()
+        assert trace.weights.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(trace.weights) <= 0)  # sorted by popularity
+
+    def test_invalid_calibration_args(self):
+        with pytest.raises(ValueError):
+            calibrate_zipf_exponent(top_k=0)
+        with pytest.raises(ValueError):
+            calibrate_zipf_exponent(top_share=1.5)
+
+    def test_custom_share(self):
+        s = calibrate_zipf_exponent(1000, top_k=10, top_share=0.3)
+        ranks = np.arange(1, 1001, dtype=float)
+        w = ranks**-s
+        assert w[:10].sum() / w.sum() == pytest.approx(0.3, abs=1e-8)
+
+
+class TestConfig:
+    def test_paper_dimensions(self):
+        cfg = AzureTraceConfig()
+        assert cfg.num_functions == 46_413
+        assert cfg.days == 14
+        assert cfg.total_minutes == 14 * 1440
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AzureTraceConfig(num_functions=1)
+        with pytest.raises(ValueError):
+            AzureTraceConfig(mean_rate_per_minute=0)
+        with pytest.raises(ValueError):
+            AzureTraceConfig(diurnal_amplitude=1.5)
+
+
+class TestCounts:
+    @pytest.fixture(scope="class")
+    def small_trace(self):
+        return SyntheticAzureTrace(
+            AzureTraceConfig(num_functions=1000, mean_rate_per_minute=5000, seed=7)
+        )
+
+    def test_counts_shape(self, small_trace):
+        fids = small_trace.top_functions(10)
+        counts = small_trace.counts(fids, range(6))
+        assert counts.shape == (10, 6)
+        assert counts.dtype == np.int64
+        assert np.all(counts >= 0)
+
+    def test_counts_deterministic(self, small_trace):
+        fids = small_trace.top_functions(5)
+        a = small_trace.counts(fids, range(3))
+        b = small_trace.counts(fids, range(3))
+        np.testing.assert_array_equal(a, b)
+
+    def test_minute_isolation(self, small_trace):
+        """Minute m's counts do not depend on which other minutes are read."""
+        fids = small_trace.top_functions(5)
+        full = small_trace.counts(fids, range(6))
+        only_m3 = small_trace.counts(fids, range(3, 4))
+        np.testing.assert_array_equal(full[:, 3], only_m3[:, 0])
+
+    def test_popularity_ordering_respected(self, small_trace):
+        fids = small_trace.top_functions(20)
+        counts = small_trace.counts(fids, range(30)).sum(axis=1)
+        # rank-0 function must clearly dominate rank-19
+        assert counts[0] > counts[-1] * 2
+
+    def test_top_functions_validation(self, small_trace):
+        with pytest.raises(ValueError):
+            small_trace.top_functions(0)
+        with pytest.raises(ValueError):
+            small_trace.top_functions(10_000)
+
+    def test_unknown_function_rejected(self, small_trace):
+        with pytest.raises(KeyError):
+            small_trace.counts(["nope"], range(2))
+        with pytest.raises(KeyError):
+            small_trace.counts(["fn99999"], range(2))
+
+    def test_minute_bounds(self, small_trace):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            small_trace.minute_total(10**9, rng)
+
+    def test_diurnal_pattern_modulates_totals(self):
+        cfg = AzureTraceConfig(
+            num_functions=100, mean_rate_per_minute=10_000, diurnal_amplitude=0.5, seed=1
+        )
+        trace = SyntheticAzureTrace(cfg)
+        rng = np.random.default_rng(0)
+        peak = trace.minute_total(360, rng)  # sin peak at quarter day
+        trough = trace.minute_total(1080, rng)  # sin trough at 3/4 day
+        assert peak > trough

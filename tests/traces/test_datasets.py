@@ -1,0 +1,98 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.traces import (
+    cifar_like,
+    compress_to_batch,
+    hymenoptera_like,
+    load_dataset,
+    mnist_like,
+)
+
+
+class TestFixedSizeDatasets:
+    def test_mnist_shape_and_range(self):
+        batch = mnist_like(16)
+        assert batch.images.shape == (16, 1, 28, 28)
+        assert batch.images.dtype == np.float32
+        assert batch.images.min() >= 0.0 and batch.images.max() <= 1.0
+        assert batch.labels.shape == (16,)
+        assert set(batch.labels) <= set(range(10))
+
+    def test_cifar_shape(self):
+        batch = cifar_like(8)
+        assert batch.images.shape == (8, 3, 32, 32)
+
+    def test_deterministic_in_seed(self):
+        a = mnist_like(4, seed=5)
+        b = mnist_like(4, seed=5)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_class_signal_separable(self):
+        """Same-class images must correlate more than cross-class ones."""
+        batch = cifar_like(64, noise=0.05, seed=0)
+        flat = batch.images.reshape(len(batch), -1)
+        by_class = {}
+        for img, label in zip(flat, batch.labels):
+            by_class.setdefault(int(label), []).append(img)
+        two = {k: v for k, v in by_class.items() if len(v) >= 2}
+        assert len(two) >= 2
+        keys = sorted(two)[:2]
+        same = np.corrcoef(two[keys[0]][0], two[keys[0]][1])[0, 1]
+        cross = np.corrcoef(two[keys[0]][0], two[keys[1]][0])[0, 1]
+        assert same > cross
+
+    def test_len_protocol(self):
+        assert len(mnist_like(5)) == 5
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            mnist_like(0)
+
+
+class TestHymenoptera:
+    def test_variable_sizes_hwc(self):
+        images = hymenoptera_like(6, min_size=32, max_size=128, seed=1)
+        assert len(images) == 6
+        shapes = {img.shape[:2] for img in images}
+        assert all(img.ndim == 3 and img.shape[2] == 3 for img in images)
+        assert len(shapes) > 1  # sizes actually vary
+
+    def test_invalid_size_range(self):
+        with pytest.raises(ValueError):
+            hymenoptera_like(2, min_size=4, max_size=2)
+
+
+class TestCompression:
+    def test_compress_to_batch_shape(self):
+        images = hymenoptera_like(5, min_size=40, max_size=100, seed=2)
+        batch = compress_to_batch(images, size=32)
+        assert batch.shape == (5, 3, 32, 32)
+        assert batch.min() >= -1e-6 and batch.max() <= 1.0 + 1e-6
+
+    def test_compress_preserves_mean_brightness(self):
+        images = [np.full((80, 60, 3), 0.25, dtype=np.float32)]
+        batch = compress_to_batch(images, size=16)
+        np.testing.assert_allclose(batch, 0.25, rtol=1e-5)
+
+    def test_compress_rejects_non_rgb(self):
+        with pytest.raises(ValueError):
+            compress_to_batch([np.zeros((10, 10))])
+
+    def test_invalid_target_size(self):
+        with pytest.raises(ValueError):
+            compress_to_batch([np.zeros((10, 10, 3))], size=0)
+
+
+class TestRegistry:
+    def test_load_each_dataset(self):
+        assert load_dataset("mnist", 4).images.shape[1:] == (1, 28, 28)
+        assert load_dataset("cifar10", 4).images.shape[1:] == (3, 32, 32)
+        assert len(load_dataset("hymenoptera", 4)) == 4
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("imagenet")
