@@ -1,0 +1,22 @@
+# Convenience targets for the conf_ipps_ZhaoJH23 reproduction.
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench parity figures
+
+## Tier-1 verification: the full unit/property/benchmark suite.
+test:
+	python -m pytest -x -q
+
+## Scheduler perf trajectory: runs benchmarks/test_scheduler_overhead.py
+## under pytest-benchmark and writes BENCH_scheduler.json (committed, so
+## every PR is measured against the last).
+bench:
+	python -m repro.experiments bench
+
+## Fast-path/reference decision parity only (quick hot-path sanity).
+parity:
+	python -m pytest tests/core/test_decision_parity.py -q
+
+## Regenerate the paper's tables and figures.
+figures:
+	python -m repro.experiments all

@@ -9,6 +9,7 @@ These benches measure both index lookups directly and show they stay flat
 as the queue grows, unlike a linear scan.
 """
 
+import os
 import time
 
 import pytest
@@ -107,3 +108,124 @@ def test_scheduling_pass_cost_at_depth(benchmark):
 
     progress = benchmark(one_pass)
     assert progress is False  # no idle GPU → no action, but the pass ran
+
+
+# ---------------------------------------------------------------------------
+# Depth scaling of a *working* pass: one idle GPU, hit at the queue tail.
+#
+# This is the scenario §VI's index bounds: the old first scan walked (and
+# visit-stamped) every queued request before reaching the hit, so its cost
+# grew linearly with queue depth; the index-driven scan does one lookup per
+# resident model plus one lazy prefix update.
+# ---------------------------------------------------------------------------
+
+PASS_DEPTHS = (100, 2_000, 20_000)
+
+
+def _system_with_hit_at_tail(depth: int):
+    """LALBO3 system: 11 busy GPUs, 1 idle GPU caching only the tail request's model."""
+    from repro.cluster import ClusterSpec
+    from repro.runtime import FaaSCluster, SystemConfig
+
+    system = FaaSCluster(SystemConfig(cluster=ClusterSpec.homogeneous(3, 4)))
+    instances = [ModelInstance(f"m{i}", get_profile("alexnet")) for i in range(30)]
+    hot = ModelInstance("hot", get_profile("alexnet"))
+    idle = system.cluster.gpus[0]
+    idle.admit(hot.instance_id, hot.occupied_mb).mark_ready(0.0)
+    system.cache.on_loaded(idle.gpu_id, hot)
+    for gpu in system.cluster.gpus[1:]:
+        gpu.begin_inference()
+    queue = system.scheduler.global_queue
+    for i in range(depth - 1):
+        queue.push(
+            InferenceRequest(f"fn{i % 30}", instances[i % 30], arrival_time=float(i))
+        )
+    queue.push(InferenceRequest("hot", hot, arrival_time=float(depth)))
+    return system
+
+
+def _one_pass_best(depth: int, *, fast: bool = True, rounds: int = 5) -> float:
+    """Best-of-``rounds`` wall time of one pass on a fresh system per round.
+
+    The minimum is the noise-robust estimator for the ratio assertions
+    below: a preempted round inflates the median on a loaded CI box, but
+    only systematic cost moves the best observed time.
+    """
+    times = []
+    for _ in range(rounds):
+        system = _system_with_hit_at_tail(depth)
+        system.scheduler.policy.use_fast_path = fast
+        t0 = time.perf_counter()
+        progress = system.scheduler.policy.schedule_pass(system.scheduler)
+        times.append(time.perf_counter() - t0)
+        assert progress is True  # the tail hit was found and dispatched
+    return min(times)
+
+
+@pytest.mark.parametrize("depth", PASS_DEPTHS)
+def test_scheduling_scan_cost_at_depth(benchmark, depth):
+    """Index-driven first scan with the cache hit at the tail of the queue.
+
+    Exported to ``BENCH_scheduler.json`` by ``python -m repro.experiments
+    bench`` as the per-depth pass-cost trajectory.
+    """
+
+    def setup():
+        system = _system_with_hit_at_tail(depth)
+        return (system,), {}
+
+    def one_pass(system):
+        return system.scheduler.policy.schedule_pass(system.scheduler)
+
+    progress = benchmark.pedantic(one_pass, setup=setup, rounds=5, iterations=1)
+    assert progress is True
+
+
+#: set REPRO_PERF_ASSERTS=0 to demote the wall-clock ratio assertions on
+#: machines too noisy for any timing bound (the benches still run/report)
+_PERF_ASSERTS = os.environ.get("REPRO_PERF_ASSERTS", "1") != "0"
+
+
+def _assert_ratio(measure, bound: float) -> None:
+    """Assert ``measure() < bound`` with one retry at a larger sample.
+
+    Best-of-rounds already rejects per-round preemption; the retry absorbs
+    whole-measurement interference (e.g. a co-tenant saturating the box for
+    the first sample) so a functionally correct build does not fail on
+    wall-clock noise.
+    """
+    if not _PERF_ASSERTS:
+        pytest.skip("REPRO_PERF_ASSERTS=0: timing assertions disabled")
+    if measure(7) < bound:
+        return
+    assert measure(15) < bound
+
+
+def test_scheduling_pass_cost_grows_sublinearly():
+    """§VI's bound, asserted: 10× deeper queue ⇒ far less than 10× cost.
+
+    The pre-index scan walked the whole queue (20k/2k ratio ≈ 10×); the
+    index-driven scan must stay under 3× (it is ~1× plus tree noise).
+    """
+
+    def ratio(rounds):
+        t_2k = _one_pass_best(2_000, rounds=rounds)
+        t_20k = _one_pass_best(20_000, rounds=rounds)
+        return t_20k / max(t_2k, 1e-5)  # floor guards against timer noise
+
+    _assert_ratio(ratio, 3.0)
+
+
+def test_fast_scan_beats_reference_scan():
+    """The index-driven scan must dominate the reference O(queue) scan.
+
+    Guards the fast path against regressions that would quietly fall back
+    to (or underperform) the literal Algorithm-1 loop.
+    """
+
+    def ratio(rounds):
+        t_ref = _one_pass_best(2_000, fast=False, rounds=rounds)
+        t_fast = _one_pass_best(2_000, fast=True, rounds=rounds)
+        return t_fast / t_ref
+
+    _assert_ratio(ratio, 1 / 5)

@@ -16,7 +16,7 @@ belong to the Cache Manager and Scheduler.
 from __future__ import annotations
 
 import enum
-from typing import Iterable
+from typing import Callable, Iterable
 
 from ..sim import IntervalAccumulator, Simulator
 from .pcie import PCIeModel
@@ -75,7 +75,21 @@ class GPUDevice:
         self._used_mb = 0.0
         self._intervals = IntervalAccumulator(sim)
         self._intervals.start(GPUState.IDLE.value)
-        self.completed_requests = 0  # use-frequency for Alg. 1's idle-GPU ordering
+        self._completed_requests = 0
+        #: observer called on every state or completion-count change; the
+        #: Cluster uses it to keep its idle/busy views incremental
+        self.on_change: Callable[["GPUDevice"], None] | None = None
+
+    @property
+    def completed_requests(self) -> int:
+        """Use-frequency for Alg. 1's idle-GPU ordering."""
+        return self._completed_requests
+
+    @completed_requests.setter
+    def completed_requests(self, value: int) -> None:
+        self._completed_requests = value
+        if self.on_change is not None:
+            self.on_change(self)
 
     # ------------------------------------------------------------------
     # Memory & residency
@@ -195,6 +209,8 @@ class GPUDevice:
     def _set_state(self, to: GPUState) -> None:
         self._intervals.switch(to.value)
         self.state = to
+        if self.on_change is not None:
+            self.on_change(self)
 
     # ------------------------------------------------------------------
     # SM-utilization accounting (paper §V-C)

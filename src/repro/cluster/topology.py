@@ -49,7 +49,15 @@ PAPER_TESTBED = ClusterSpec.homogeneous(3, 4)
 
 
 class Cluster:
-    """A set of GPU nodes plus flat views over their devices."""
+    """A set of GPU nodes plus flat views over their devices.
+
+    The idle/busy views are maintained incrementally: every GPU notifies
+    the cluster on a state or completion-count change (bumping
+    :attr:`version`), and the device-ordered idle/busy lists are rebuilt
+    lazily only when stale.  The schedulers' per-pass "any idle GPU?"
+    probes therefore stop re-scanning every device.  Returned lists are
+    cache snapshots — callers must not mutate them.
+    """
 
     def __init__(self, sim: Simulator, nodes: list[GPUNode]) -> None:
         self.sim = sim
@@ -59,6 +67,18 @@ class Cluster:
         if len(self._by_id) != len(self.gpus):
             raise ValueError("duplicate GPU ids in cluster")
         self._node_of = {g.gpu_id: node for node in nodes for g in node.gpus}
+        #: monotone counter of GPU state/frequency changes; consumers key
+        #: their own cached views off it (see Scheduler.idle_gpus_by_frequency)
+        self.version = 0
+        self._idle_version = -1
+        self._idle_cache: list[GPUDevice] = []
+        self._busy_version = -1
+        self._busy_cache: list[GPUDevice] = []
+        for g in self.gpus:
+            g.on_change = self._on_gpu_change
+
+    def _on_gpu_change(self, gpu: GPUDevice) -> None:
+        self.version += 1
 
     def gpu(self, gpu_id: str) -> GPUDevice:
         return self._by_id[gpu_id]
@@ -67,10 +87,16 @@ class Cluster:
         return self._node_of[gpu_id]
 
     def idle_gpus(self) -> list[GPUDevice]:
-        return [g for g in self.gpus if g.is_idle]
+        if self._idle_version != self.version:
+            self._idle_cache = [g for g in self.gpus if g.is_idle]
+            self._idle_version = self.version
+        return self._idle_cache
 
     def busy_gpus(self) -> list[GPUDevice]:
-        return [g for g in self.gpus if g.is_busy]
+        if self._busy_version != self.version:
+            self._busy_cache = [g for g in self.gpus if g.is_busy]
+            self._busy_version = self.version
+        return self._busy_cache
 
     def gpu_types(self) -> set[str]:
         return {g.gpu_type for g in self.gpus}

@@ -74,6 +74,16 @@ class CacheManager:
     def cached_anywhere(self, model_id: str) -> bool:
         return bool(self._locations.get(model_id))
 
+    def models_on(self, gpu_id: str) -> frozenset[str]:
+        """Model instances resident on ``gpu_id`` (cached view, O(1)).
+
+        This is the §VI bound the scheduling fast path leans on: LALB's
+        first scan asks for *this* set and does one queue-index lookup per
+        member, so its cost is "bounded by the number of models cached on
+        the GPU" rather than the queue length.
+        """
+        return self._policies[gpu_id].resident
+
     def lru_list(self, gpu_id: str) -> list[str]:
         """Eviction order of ``gpu_id`` (coldest first)."""
         return self._policies[gpu_id].eviction_order()

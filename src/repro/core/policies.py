@@ -9,6 +9,30 @@
 
 Policies act through the :class:`SchedulerOps` interface exposed by the
 Scheduler, so they are pure decision logic and unit-testable against fakes.
+
+Fast path (§VI scalability)
+---------------------------
+Every policy carries two interchangeable implementations of its queue
+scan:
+
+* the **index-driven fast path** (default) — Alg. 1's first scan asks the
+  Cache Manager for the GPU's resident models and the GlobalQueue's
+  model index for each model's oldest request, so its cost is bounded by
+  the number of models cached on the GPU, exactly as §VI argues; the O3
+  ``visits`` bookkeeping collapses into one O(log n) prefix update; the
+  starvation guard walks the queue's ordered starved set instead of
+  rediscovering starved requests by rescanning; the second scan walks
+  queue heads (every Algorithm-2 outcome removes the head, so the cost is
+  proportional to decisions made, not queue length);
+* the **reference scan** (``use_fast_path = False``) — the literal
+  O(GPUs × queue) loop transcribed from Algorithms 1/2.  It is kept both
+  as executable documentation and so the decision-parity tests can assert
+  the fast path produces byte-identical ``DecisionLog`` sequences.
+
+The fast path assumes the admission check is trivially true; when a
+:class:`~repro.core.tenancy.TenancyController` is installed (per-request
+``may_dispatch`` answers), policies automatically fall back to the
+reference scan.
 """
 
 from __future__ import annotations
@@ -43,6 +67,10 @@ class SchedulerOps(Protocol):  # pragma: no cover - typing interface
     local_queues: LocalQueues
     cache: CacheManager
     estimator: FinishTimeEstimator
+    #: admission controller, or None when may_dispatch is trivially true.
+    #: Implementations whose may_dispatch can refuse requests MUST expose a
+    #: non-None value here, or the fast paths will skip the admission probes.
+    tenancy: object | None
 
     def idle_gpus(self) -> list[GPUDevice]: ...
     def idle_gpus_by_frequency(self) -> list[GPUDevice]: ...
@@ -56,10 +84,26 @@ class SchedulerOps(Protocol):  # pragma: no cover - typing interface
     ) -> bool: ...
 
 
+_MISSING = object()
+
+
+def _admission_is_trivial(s: SchedulerOps) -> bool:
+    """True when ``may_dispatch`` cannot say no (no tenancy controller).
+
+    Only then may a policy use its index-driven fast path: the fast scans
+    skip the per-request admission probes the reference loops perform.
+    An implementation that omits the ``tenancy`` attribute entirely fails
+    safe — it gets the reference scans, which probe ``may_dispatch``.
+    """
+    return getattr(s, "tenancy", _MISSING) is None
+
+
 class SchedulingPolicy(ABC):
     """One pass of scheduling decisions over the current system state."""
 
     name: str = "abstract"
+    #: flip to False to run the literal Algorithm-1/2 scans (parity tests)
+    use_fast_path: bool = True
 
     @abstractmethod
     def schedule_pass(self, s: SchedulerOps) -> bool:
@@ -93,8 +137,13 @@ class LoadBalancingPolicy(SchedulingPolicy):
             progress = True
         return progress
 
+    def _head(self, s: SchedulerOps, gpu: GPUDevice) -> InferenceRequest | None:
+        if self.use_fast_path and _admission_is_trivial(s):
+            return s.global_queue.head()  # O(1): admission cannot refuse it
+        return self._head_reference(s, gpu)
+
     @staticmethod
-    def _head(s: SchedulerOps, gpu: GPUDevice) -> InferenceRequest | None:
+    def _head_reference(s: SchedulerOps, gpu: GPUDevice) -> InferenceRequest | None:
         for request in s.global_queue:
             if s.may_dispatch(request, gpu):
                 return request
@@ -126,7 +175,13 @@ class LocalityOnlyPolicy(SchedulingPolicy):
             if s.local_queues.peek(gpu.gpu_id) is not None:
                 s.dispatch_local_head(gpu)
                 progress = True
-        for request in s.global_queue:
+        # the fast iteration allocates no snapshot; each visited request is
+        # either left in place or removed, so the live walk sees the same
+        # sequence as the reference snapshot
+        requests = (
+            s.global_queue.iter_requests() if self.use_fast_path else iter(s.global_queue)
+        )
+        for request in requests:
             if not s.may_dispatch(request):
                 continue
             locations = s.cache.locations(request.model_id)
@@ -173,6 +228,9 @@ class LALBPolicy(SchedulingPolicy):
        :meth:`_locality_load_balance` (Algorithm 2) to prevent starvation;
     3. if no queued request is cached here, run Algorithm 2 over the queue
        in arrival order until some request lands on this GPU.
+
+    The default implementation is the §VI index-driven fast path (see the
+    module docstring); ``use_fast_path = False`` selects the literal scan.
     """
 
     def __init__(self, limit: int = DEFAULT_O3_LIMIT) -> None:
@@ -199,7 +257,74 @@ class LALBPolicy(SchedulingPolicy):
 
     # ------------------------------------------------------------------
     def _schedule_gpu(self, s: SchedulerOps, gpu: GPUDevice) -> bool:
-        """Algorithm 1 lines 6–22 for one idle GPU; True if anything changed."""
+        if (
+            self.use_fast_path
+            # the queue's lazy starvation tracking must assume *this*
+            # policy's limit (guards against policy swaps mid-experiment)
+            and s.global_queue.o3_limit == self.limit
+            and _admission_is_trivial(s)
+        ):
+            return self._schedule_gpu_fast(s, gpu)
+        return self._schedule_gpu_reference(s, gpu)
+
+    def _schedule_gpu_fast(self, s: SchedulerOps, gpu: GPUDevice) -> bool:
+        """Index-driven Algorithm 1 for one idle GPU.
+
+        Produces exactly the decision sequence of
+        :meth:`_schedule_gpu_reference` (asserted by the parity tests)
+        while never iterating the queue:
+
+        * the first scan's cache hit is the oldest queued request of any
+          model resident on ``gpu`` — an index lookup per resident model;
+        * starved requests positioned before that hit are exactly the
+          queue's starved-set entries with smaller slots;
+        * every request the reference scan would have skipped (those before
+          the stop position) receives its Alg. 1 line-15 visit via one
+          lazy prefix update.
+        """
+        queue = s.global_queue
+        acted = False
+        # -- first scan (lines 6–16) --------------------------------------
+        hit = None  # oldest queued entry whose model is cached on `gpu`
+        for model_id in s.cache.models_on(gpu.gpu_id):
+            entry = queue.first_entry_for_model(model_id)
+            if entry is not None and (hit is None or entry.slot < hit.slot):
+                hit = entry
+        stop_slot = hit.slot if hit is not None else None
+        # line 11: requests already skipped past the limit, in queue order,
+        # that the reference scan would reach before the hit
+        for entry in queue.starved_entries_before(stop_slot):
+            outcome = self._locality_load_balance(s, gpu, entry.request)
+            if outcome == "to_this_gpu":
+                # line 13: GPUi consumed; everything scanned before this
+                # request was skipped once more (line 15)
+                queue.bump_visits_before(entry.slot)
+                return True
+            acted = True  # "handled" (admission is trivial, never "blocked")
+        if hit is not None:
+            queue.bump_visits_before(stop_slot)  # skips strictly before the hit
+            s.dispatch(hit.request, gpu)  # line 8
+            return True
+        queue.bump_visits_before(None)  # no hit: the whole queue was skipped
+        # -- second scan (lines 17–21) ------------------------------------
+        # Algorithm 2 either dispatches the head here, dispatches it to
+        # another idle GPU, or binds it to a busy GPU's local queue — the
+        # head always leaves the queue, so walking heads costs O(decisions).
+        while (head := queue.head()) is not None:
+            outcome = self._locality_load_balance(s, gpu, head)
+            if outcome == "to_this_gpu":
+                return True
+            if outcome == "blocked":  # pragma: no cover - impossible w/o tenancy
+                break
+            acted = True
+        return acted
+
+    def _schedule_gpu_reference(self, s: SchedulerOps, gpu: GPUDevice) -> bool:
+        """Algorithm 1 lines 6–22 for one idle GPU; True if anything changed.
+
+        The literal O(queue) transcription of the paper's pseudocode; the
+        fast path above must match it decision for decision.
+        """
         acted = False
         # -- first scan (lines 6–16): look for a cache hit on this GPU ----
         for request in s.global_queue:

@@ -8,32 +8,263 @@ queue.
 §VI scalability: the global queue keeps an auxiliary index from model
 instance to its queued requests (in arrival order), so "the complexity of
 this search is bounded by the number of models cached on the GPU" rather
-than the queue length.
+than the queue length.  This module supplies everything the index-driven
+scheduling fast path needs to honour that bound:
+
+* ``first_entry_for_model`` — O(1) oldest queued request per model;
+* lazy O3 ``visits`` accounting — one scan's "every skipped request is
+  visited once more" (Alg. 1 line 15) becomes a single O(log n) prefix
+  update on a segment tree instead of an O(queue) walk, with per-request
+  values materialized on demand;
+* an ordered *starved* set — requests whose visits exceeded the O3 limit
+  surface by index (Alg. 1 line 11) instead of being rediscovered by
+  rescanning the queue;
+* ``push_sorted`` — positional re-insertion (O(log n) search, one array
+  splice) that updates the model index incrementally instead of the old
+  clear-and-rebuild.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict, deque
+import itertools
+from bisect import bisect_left, bisect_right, insort
+from collections import deque
 from typing import Iterator
 
 from .request import InferenceRequest, RequestState
 
 __all__ = ["GlobalQueue", "LocalQueues"]
 
+#: Sentinel "remaining skips before starvation" for slots that must never
+#: surface from the starvation search (empty, removed, or already-starved).
+_INF = 1 << 60
+
+
+class _VisitTree:
+    """Min segment tree with lazy prefix-add over queue slots.
+
+    Each leaf holds a queued request's *remaining skip budget*: how many
+    more times the O3 scan may pass it over before the starvation guard
+    (Alg. 1 line 11) must route it through Algorithm 2.  One scheduling
+    scan decrements a whole queue prefix in O(log n); leaves that reach
+    zero are popped into the queue's ordered starved set.
+    """
+
+    __slots__ = ("size", "_mn", "_lz")
+
+    def __init__(self, size: int, leaves: list[int] | None = None) -> None:
+        self.size = size
+        self._mn = [_INF] * (2 * size)
+        self._lz = [0] * (2 * size)
+        if leaves:
+            mn = self._mn
+            mn[size : size + len(leaves)] = leaves
+            for i in range(size - 1, 0, -1):
+                left, right = mn[2 * i], mn[2 * i + 1]
+                mn[i] = left if left <= right else right
+
+    # -- point access ----------------------------------------------------
+    def point_get(self, i: int) -> int:
+        node = i + self.size
+        lz = self._lz
+        total = self._mn[node]
+        node >>= 1
+        while node:
+            total += lz[node]
+            node >>= 1
+        return total
+
+    def point_set(self, i: int, value: int) -> None:
+        mn, lz, size = self._mn, self._lz, self.size
+        node = i + size
+        # push pending adds down the root→leaf path so the leaf write and
+        # the pull-up below see settled values
+        for shift in range(node.bit_length() - 1, 0, -1):
+            anc = node >> shift
+            add = lz[anc]
+            if add:
+                lz[anc] = 0
+                for child in (2 * anc, 2 * anc + 1):
+                    mn[child] += add
+                    if child < size:
+                        lz[child] += add
+        mn[node] = value
+        node >>= 1
+        while node:
+            left, right = mn[2 * node], mn[2 * node + 1]
+            mn[node] = (left if left <= right else right) + lz[node]
+            node >>= 1
+
+    # -- prefix update / starvation search -------------------------------
+    def prefix_add(self, r: int, delta: int) -> None:
+        """Add ``delta`` to every leaf in ``[0, r)``."""
+        self._add(1, 0, self.size, r, delta)
+
+    def _add(self, node: int, lo: int, hi: int, r: int, delta: int) -> None:
+        if r <= lo:
+            return
+        mn = self._mn
+        if hi <= r:
+            mn[node] += delta
+            if node < self.size:
+                self._lz[node] += delta
+            return
+        mid = (lo + hi) // 2
+        self._add(2 * node, lo, mid, r, delta)
+        self._add(2 * node + 1, mid, hi, r, delta)
+        left, right = mn[2 * node], mn[2 * node + 1]
+        mn[node] = (left if left <= right else right) + self._lz[node]
+
+    def first_depleted(self, r: int) -> int | None:
+        """Leftmost leaf in ``[0, r)`` whose value is ≤ 0, or None."""
+        return self._find(1, 0, self.size, r, 0)
+
+    def _find(self, node: int, lo: int, hi: int, r: int, acc: int) -> int | None:
+        if lo >= r or self._mn[node] + acc > 0:
+            return None
+        if node >= self.size:
+            return node - self.size
+        acc += self._lz[node]
+        mid = (lo + hi) // 2
+        found = self._find(2 * node, lo, mid, r, acc)
+        if found is not None:
+            return found
+        return self._find(2 * node + 1, mid, hi, r, acc)
+
+    def values(self, n: int) -> list[int]:
+        """True values of the first ``n`` leaves (for rebuilds)."""
+        out: list[int] = []
+        self._collect(1, 0, self.size, n, 0, out)
+        return out
+
+    def _collect(self, node: int, lo: int, hi: int, n: int, acc: int, out: list[int]) -> None:
+        if lo >= n:
+            return
+        if node >= self.size:
+            out.append(self._mn[node] + acc)
+            return
+        acc += self._lz[node]
+        mid = (lo + hi) // 2
+        self._collect(2 * node, lo, mid, n, acc, out)
+        self._collect(2 * node + 1, mid, hi, n, acc, out)
+
+
+class _Entry:
+    """One queued request plus its position and lazy O3-visit state."""
+
+    __slots__ = ("request", "key", "slot", "alive", "starved", "visits_at_entry", "rem0")
+
+    def __init__(self, request: InferenceRequest, key: tuple[float, int], slot: int) -> None:
+        self.request = request
+        self.key = key  # (arrival_time, push sequence): total queue order
+        self.slot = slot  # index into the queue's entry array
+        self.alive = True
+        self.starved = False
+        #: eager visit count at (re)indexing time; live value adds the
+        #: number of lazy prefix bumps that covered this slot since
+        self.visits_at_entry = 0
+        #: remaining skip budget at (re)indexing time (tree leaf baseline)
+        self.rem0 = 0
+
 
 class GlobalQueue:
-    """Arrival-ordered queue with a model-instance index."""
+    """Arrival-ordered queue with a model-instance index.
 
-    def __init__(self) -> None:
-        # OrderedDict gives O(1) removal while preserving arrival order.
-        self._queue: OrderedDict[int, InferenceRequest] = OrderedDict()
-        self._by_model: dict[str, OrderedDict[int, InferenceRequest]] = {}
+    ``o3_limit`` enables lazy O3-visit tracking for the LALB/LALBO3 fast
+    path; the Scheduler wires it from the policy.  Queues built without a
+    limit (LB, locality, bare unit-test queues) skip that machinery
+    entirely and behave like a plain indexed FIFO.
+    """
 
+    def __init__(self, o3_limit: int | None = None) -> None:
+        self._o3_limit = o3_limit
+        self._entries: list[_Entry | None] = []  # slot-ordered; None = removed
+        self._keys: list[tuple[float, int]] = []  # parallel keys (kept for holes)
+        self._by_id: dict[int, _Entry] = {}
+        self._buckets: dict[str, deque[_Entry]] = {}  # model -> entries, oldest first
+        self._model_live: dict[str, int] = {}  # model -> live entry count
+        self._live = 0
+        self._head = 0  # first possibly-alive slot
+        self._seq = itertools.count()
+        self._tree: _VisitTree | None = None
+        self._starved: list[_Entry] = []  # slot-ordered; may hold dead entries
+        self._starved_dead = 0
+        self._version = 0  # bumped whenever slots are renumbered
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def o3_limit(self) -> int | None:
+        """The starvation limit this queue's lazy visit tracking assumes."""
+        return self._o3_limit
+
+    @property
+    def tracks_visits(self) -> bool:
+        """Whether lazy O3-visit accounting is active (LALB fast path)."""
+        return self._o3_limit is not None
+
+    def __contains__(self, request: InferenceRequest) -> bool:
+        return request.request_id in self._by_id
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __iter__(self) -> Iterator[InferenceRequest]:
+        """Iterate in arrival order over a snapshot (safe to mutate while iterating)."""
+        return iter([e.request for e in self._entries if e is not None])
+
+    def iter_requests(self) -> Iterator[InferenceRequest]:
+        """Allocation-free walk in arrival order.
+
+        Unlike ``__iter__`` this takes no snapshot: requests removed ahead
+        of the cursor are skipped and requests appended behind the tail are
+        visited.  Safe against concurrent removals (the scheduling passes
+        remove the request they just visited); survives a re-index by
+        re-finding its position from the last yielded key.
+        """
+        i = self._head
+        version = self._version
+        last_key: tuple[float, int] | None = None
+        while True:
+            if version != self._version:  # slots were renumbered underneath us
+                version = self._version
+                i = 0 if last_key is None else bisect_right(self._keys, last_key)
+                continue
+            if i >= len(self._entries):
+                return
+            entry = self._entries[i]
+            i += 1
+            if entry is None:
+                continue
+            last_key = entry.key
+            yield entry.request
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
     def push(self, request: InferenceRequest) -> None:
-        if request.request_id in self._queue:
+        if request.request_id in self._by_id:
             raise ValueError(f"request {request.request_id} already queued")
-        self._queue[request.request_id] = request
-        self._by_model.setdefault(request.model_id, OrderedDict())[request.request_id] = request
+        if len(self._entries) > 64 and self._live * 2 < len(self._entries):
+            self._reindex()  # too many holes: compact before appending
+        slot = len(self._entries)
+        if self._o3_limit is not None:
+            if self._tree is None:
+                self._tree = _VisitTree(64)
+            if slot >= self._tree.size:
+                self._reindex()
+                slot = len(self._entries)
+        entry = _Entry(request, (request.arrival_time, next(self._seq)), slot)
+        self._entries.append(entry)
+        self._keys.append(entry.key)
+        self._by_id[request.request_id] = entry
+        model_id = request.model_id
+        self._buckets.setdefault(model_id, deque()).append(entry)
+        self._model_live[model_id] = self._model_live.get(model_id, 0) + 1
+        self._live += 1
+        if self._o3_limit is not None:
+            self._attach_visits(entry)
 
     def push_sorted(self, request: InferenceRequest) -> None:
         """Insert by arrival time (for re-queued requests after a failure).
@@ -42,53 +273,220 @@ class GlobalQueue:
         queue sorted; a request returned to the queue (GPU failure, §VI
         fault handling) is older than the tail, so it is re-inserted at its
         arrival-time position to preserve the paper's "sorted by arrival
-        times" invariant.  O(n), acceptable for rare failures.
+        times" invariant.  The position is found by O(log n) bisection and
+        the model index is updated with a single positional insert rather
+        than the old clear-and-rebuild of every index.  The entry array is
+        still compacted and the visit tree re-based on this path — an O(n)
+        splice with small constants, acceptable because failures are rare.
         """
-        if request.request_id in self._queue:
+        if request.request_id in self._by_id:
             raise ValueError(f"request {request.request_id} already queued")
-        items = list(self._queue.values())
-        self._queue.clear()
-        self._by_model.clear()
-        inserted = False
-        for existing in items:
-            if not inserted and request.arrival_time < existing.arrival_time:
-                self.push(request)
-                inserted = True
-            self.push(existing)
-        if not inserted:
-            self.push(request)
+        self._reindex()  # settle slots so position == insertion index
+        key = (request.arrival_time, next(self._seq))
+        pos = bisect_left(self._keys, key)
+        if pos == len(self._entries):
+            self.push(request)  # newest arrival after all queued ones
+            return
+        entry = _Entry(request, key, pos)
+        self._entries.insert(pos, entry)
+        self._keys.insert(pos, key)
+        for i in range(pos + 1, len(self._entries)):
+            self._entries[i].slot = i  # type: ignore[union-attr]  # all alive post-reindex
+        self._version += 1
+        self._by_id[request.request_id] = entry
+        self._bucket_insert(entry)
+        model_id = request.model_id
+        self._model_live[model_id] = self._model_live.get(model_id, 0) + 1
+        self._live += 1
+        self._head = min(self._head, pos)
+        if self._o3_limit is not None:
+            # set the entry's skip budget first: the tree rebuild below
+            # reads every entry's rem0, including the new one
+            self._attach_visits(entry, tree_leaf_pending=False)
+            self._rebuild_tree()
+
+    def _bucket_insert(self, entry: _Entry) -> None:
+        bucket = self._buckets.setdefault(entry.request.model_id, deque())
+        # walk from the tail: the re-queued request is usually younger than
+        # most of its model's backlog, and failure re-insertions are rare
+        i = len(bucket)
+        while i > 0 and bucket[i - 1].key > entry.key:
+            i -= 1
+        bucket.insert(i, entry)
 
     def remove(self, request: InferenceRequest) -> None:
-        if request.request_id not in self._queue:
+        entry = self._by_id.pop(request.request_id, None)
+        if entry is None:
             raise KeyError(f"request {request.request_id} is not in the global queue")
-        del self._queue[request.request_id]
-        bucket = self._by_model[request.model_id]
-        del bucket[request.request_id]
-        if not bucket:
-            del self._by_model[request.model_id]
+        self._materialize(entry)
+        entry.alive = False
+        self._entries[entry.slot] = None
+        self._live -= 1
+        if self._tree is not None:
+            self._tree.point_set(entry.slot, _INF)
+        if entry.starved:
+            self._starved_dead += 1
+        model_id = request.model_id
+        remaining = self._model_live[model_id] - 1
+        if remaining:
+            self._model_live[model_id] = remaining
+            bucket = self._buckets[model_id]
+            while bucket and not bucket[0].alive:
+                bucket.popleft()
+        else:
+            del self._model_live[model_id]
+            del self._buckets[model_id]
 
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
     def head(self) -> InferenceRequest | None:
-        return next(iter(self._queue.values()), None)
+        entries = self._entries
+        i, n = self._head, len(entries)
+        while i < n and entries[i] is None:
+            i += 1
+        self._head = i
+        return entries[i].request if i < n else None
+
+    def first_entry_for_model(self, model_id: str) -> _Entry | None:
+        """Oldest queued entry needing ``model_id`` (amortized O(1))."""
+        bucket = self._buckets.get(model_id)
+        if not bucket:
+            return None
+        while not bucket[0].alive:
+            bucket.popleft()
+        return bucket[0]
 
     def first_for_model(self, model_id: str) -> InferenceRequest | None:
         """Oldest queued request needing ``model_id`` (O(1) via the index)."""
-        bucket = self._by_model.get(model_id)
-        if not bucket:
-            return None
-        return next(iter(bucket.values()))
+        entry = self.first_entry_for_model(model_id)
+        return entry.request if entry is not None else None
 
     def queued_models(self) -> set[str]:
-        return set(self._by_model)
+        return set(self._model_live)
 
-    def __contains__(self, request: InferenceRequest) -> bool:
-        return request.request_id in self._queue
+    # ------------------------------------------------------------------
+    # O3 visit accounting (Alg. 1 lines 11/15, done lazily)
+    # ------------------------------------------------------------------
+    def starved_entries_before(self, stop_slot: int | None) -> list[_Entry]:
+        """Live starved entries with slot < ``stop_slot``, oldest first.
 
-    def __len__(self) -> int:
-        return len(self._queue)
+        These are the requests Alg. 1 line 11 must force through Algorithm
+        2 before the scan may dispatch its cache hit at ``stop_slot``.
+        """
+        starved = self._starved
+        if self._starved_dead * 2 > len(starved):
+            self._starved = starved = [e for e in starved if e.alive]
+            self._starved_dead = 0
+        out = []
+        for entry in starved:
+            if stop_slot is not None and entry.slot >= stop_slot:
+                break
+            if entry.alive:
+                out.append(entry)
+        return out
 
-    def __iter__(self) -> Iterator[InferenceRequest]:
-        """Iterate in arrival order over a snapshot (safe to mutate while iterating)."""
-        return iter(list(self._queue.values()))
+    def bump_visits_before(self, stop_slot: int | None) -> None:
+        """Count one more skip for every live request before ``stop_slot``.
+
+        This is Alg. 1 line 15 for a whole first scan: O(log n) instead of
+        touching every queued request.  Requests whose skip budget reaches
+        zero move to the starved set (their ``visits`` freeze at limit+1,
+        exactly the eager value, since starved requests are never skipped
+        again — Alg. 1 line 11 routes them instead).
+        """
+        if self._o3_limit is None:
+            raise RuntimeError("queue does not track O3 visits (no o3_limit)")
+        r = len(self._entries) if stop_slot is None else stop_slot
+        if r <= 0 or self._tree is None:
+            return
+        tree = self._tree
+        tree.prefix_add(r, -1)
+        while (slot := tree.first_depleted(r)) is not None:
+            entry = self._entries[slot]
+            assert entry is not None and not entry.starved
+            entry.visits_at_entry += entry.rem0  # freeze at limit + 1
+            entry.starved = True
+            tree.point_set(slot, _INF)
+            insort(self._starved, entry, key=lambda e: e.slot)
+
+    def _attach_visits(self, entry: _Entry, *, tree_leaf_pending: bool = True) -> None:
+        request = entry.request
+        entry.visits_at_entry = request._visits
+        need = self._o3_limit + 1 - entry.visits_at_entry  # type: ignore[operator]
+        if need <= 0:
+            # re-queued with its starvation already earned (fairness:
+            # resubmit preserves visits) — surface it immediately
+            entry.starved = True
+            insort(self._starved, entry, key=lambda e: e.slot)
+        else:
+            entry.rem0 = need
+            if tree_leaf_pending:
+                self._tree.point_set(entry.slot, need)  # type: ignore[union-attr]
+        request._attach_queue_entry(self, entry)
+
+    def _materialize(self, entry: _Entry) -> None:
+        """Fold the lazy skip count into the request's eager ``visits``."""
+        request = entry.request
+        if self._o3_limit is not None:
+            request._visits = self._entry_visits(entry)
+        request._detach_queue_entry(entry)
+
+    def _entry_visits(self, entry: _Entry) -> int:
+        if entry.starved or self._tree is None:
+            return entry.visits_at_entry
+        return entry.visits_at_entry + (entry.rem0 - self._tree.point_get(entry.slot))
+
+    def _entry_set_visits(self, entry: _Entry, value: int) -> None:
+        # Direct writes (the reference scan's `request.visits += 1`) re-base
+        # the lazy accounting: the eager baseline takes the new value and
+        # the tree leaf is reset to the matching remaining skip budget, so
+        # a later fast scan sees exactly the state an all-lazy history
+        # would have produced (including crossing into the starved set).
+        entry.visits_at_entry = value
+        if entry.starved or self._tree is None:
+            return
+        remaining = self._o3_limit + 1 - value  # type: ignore[operator]
+        if remaining <= 0:
+            entry.starved = True
+            self._tree.point_set(entry.slot, _INF)
+            insort(self._starved, entry, key=lambda e: e.slot)
+        else:
+            entry.rem0 = remaining
+            self._tree.point_set(entry.slot, remaining)
+
+    # ------------------------------------------------------------------
+    # Re-indexing (hole compaction / tree growth / positional insert)
+    # ------------------------------------------------------------------
+    def _reindex(self) -> None:
+        """Drop holes, renumber slots 0..live-1, rebuild keys and tree."""
+        if self._tree is not None:
+            values = self._tree.values(len(self._entries))
+            for entry in self._entries:
+                if entry is not None and not entry.starved:
+                    rem = values[entry.slot]
+                    entry.visits_at_entry += entry.rem0 - rem
+                    entry.rem0 = rem
+        alive = [e for e in self._entries if e is not None]
+        for i, entry in enumerate(alive):
+            entry.slot = i
+        self._entries = alive  # type: ignore[assignment]
+        self._keys = [e.key for e in alive]
+        self._head = 0
+        self._version += 1
+        if self._starved_dead:
+            self._starved = [e for e in self._starved if e.alive]
+            self._starved_dead = 0
+        if self._tree is not None:
+            self._rebuild_tree()
+
+    def _rebuild_tree(self) -> None:
+        need = max(64, 2 * (self._live + 1))
+        cap = 1 << (need - 1).bit_length()
+        leaves = [
+            _INF if e is None or e.starved else e.rem0 for e in self._entries
+        ]
+        self._tree = _VisitTree(cap, leaves)
 
 
 class LocalQueues:
@@ -96,15 +494,18 @@ class LocalQueues:
 
     def __init__(self) -> None:
         self._queues: dict[str, deque[InferenceRequest]] = {}
+        self._total = 0
 
     def push(self, gpu_id: str, request: InferenceRequest) -> None:
         request.state = RequestState.LOCAL_QUEUED
         self._queues.setdefault(gpu_id, deque()).append(request)
+        self._total += 1
 
     def pop(self, gpu_id: str) -> InferenceRequest:
         q = self._queues.get(gpu_id)
         if not q:
             raise IndexError(f"local queue of {gpu_id} is empty")
+        self._total -= 1
         return q.popleft()
 
     def peek(self, gpu_id: str) -> InferenceRequest | None:
@@ -118,7 +519,7 @@ class LocalQueues:
         return list(self._queues.get(gpu_id, ()))
 
     def total(self) -> int:
-        return sum(len(q) for q in self._queues.values())
+        return self._total
 
     def non_empty_gpus(self) -> list[str]:
         return [g for g, q in self._queues.items() if q]

@@ -31,32 +31,50 @@ __all__ = [
 
 
 class EvictionPolicy(ABC):
-    """Ordering of one GPU's resident models, best eviction victim first."""
+    """Ordering of one GPU's resident models, best eviction victim first.
+
+    The ``resident`` and ``eviction_order()`` views are cached between
+    residency changes: victim queries and the scheduler's per-pass
+    resident-model lookups no longer rebuild a fresh set/sorted list each
+    time.  Returned views are shared snapshots — callers must not mutate
+    them (every invalidation builds a new object, so snapshots previously
+    handed out stay intact).
+    """
 
     def __init__(self) -> None:
         self._resident: dict[str, float] = {}  # model_id -> occupied_mb
+        self._resident_view: frozenset[str] | None = None
+        self._order_view: list[str] | None = None
 
     # -- residency bookkeeping ------------------------------------------
     def on_insert(self, model_id: str, size_mb: float, now: float) -> None:
         if model_id in self._resident:
             raise ValueError(f"{model_id} already tracked")
         self._resident[model_id] = size_mb
+        self._resident_view = None
+        self._order_view = None
         self._insert(model_id, now)
 
     def on_access(self, model_id: str, now: float) -> None:
         if model_id not in self._resident:
             raise KeyError(f"{model_id} is not resident")
+        self._order_view = None  # access can reorder victims (LRU/LFU/...)
         self._access(model_id, now)
 
     def on_evict(self, model_id: str) -> None:
         if model_id not in self._resident:
             raise KeyError(f"{model_id} is not resident")
         del self._resident[model_id]
+        self._resident_view = None
+        self._order_view = None
         self._forget(model_id)
 
     @property
-    def resident(self) -> set[str]:
-        return set(self._resident)
+    def resident(self) -> frozenset[str]:
+        view = self._resident_view
+        if view is None:
+            view = self._resident_view = frozenset(self._resident)
+        return view
 
     def size_of(self, model_id: str) -> float:
         return self._resident[model_id]
@@ -72,8 +90,15 @@ class EvictionPolicy(ABC):
     def _forget(self, model_id: str) -> None: ...
 
     @abstractmethod
-    def eviction_order(self) -> list[str]:
+    def _compute_eviction_order(self) -> list[str]:
         """Resident models, best victim first (e.g. coldest first for LRU)."""
+
+    def eviction_order(self) -> list[str]:
+        """Resident models, best victim first (cached between changes)."""
+        order = self._order_view
+        if order is None:
+            order = self._order_view = self._compute_eviction_order()
+        return order
 
     # -- victim selection (§III-D) ----------------------------------------
     def choose_victims(
@@ -118,12 +143,12 @@ class LRUPolicy(EvictionPolicy):
     def _forget(self, model_id: str) -> None:
         del self._order[model_id]
 
-    def eviction_order(self) -> list[str]:
+    def _compute_eviction_order(self) -> list[str]:
         return list(self._order)
 
     def lru_list(self) -> list[str]:
         """The LRU list as published to the Datastore (coldest → hottest)."""
-        return list(self._order)
+        return self.eviction_order()
 
 
 class FIFOPolicy(EvictionPolicy):
@@ -142,7 +167,7 @@ class FIFOPolicy(EvictionPolicy):
     def _forget(self, model_id: str) -> None:
         del self._order[model_id]
 
-    def eviction_order(self) -> list[str]:
+    def _compute_eviction_order(self) -> list[str]:
         return list(self._order)
 
 
@@ -166,7 +191,7 @@ class LFUPolicy(EvictionPolicy):
         del self._counts[model_id]
         del self._last_use[model_id]
 
-    def eviction_order(self) -> list[str]:
+    def _compute_eviction_order(self) -> list[str]:
         return sorted(self._counts, key=lambda m: (self._counts[m], self._last_use[m]))
 
 
@@ -186,7 +211,7 @@ class SizeAwarePolicy(EvictionPolicy):
     def _forget(self, model_id: str) -> None:
         del self._last_use[model_id]
 
-    def eviction_order(self) -> list[str]:
+    def _compute_eviction_order(self) -> list[str]:
         # largest first; ties broken LRU so hot small models survive
         return sorted(self._resident, key=lambda m: (-self._resident[m], self._last_use[m]))
 
@@ -214,8 +239,12 @@ class BeladyPolicy(EvictionPolicy):
     def _forget(self, model_id: str) -> None:
         pass
 
-    def eviction_order(self) -> list[str]:
+    def _compute_eviction_order(self) -> list[str]:
         return sorted(self._resident, key=lambda m: -self._next_use(m, self._now))
+
+    def eviction_order(self) -> list[str]:
+        # the oracle is time-dependent: never serve a stale cached ordering
+        return self._compute_eviction_order()
 
 
 POLICY_NAMES = ("lru", "fifo", "lfu", "size")

@@ -59,11 +59,17 @@ class InferenceRequest:
     #: miss although the model was resident on *some other* GPU at decision
     #: time (paper §V-D's "false miss")
     false_miss: bool = False
-    #: times this request was skipped by the O3 dispatch (Alg. 1 line 15)
-    visits: int = 0
     #: times the request was re-queued after a GPU failure
     retries: int = 0
     result: Any = None
+
+    # -- O3 visit accounting (Alg. 1 line 15) ---------------------------
+    #: eager skip count; authoritative whenever the request is not sitting
+    #: in a visit-tracking GlobalQueue (see the ``visits`` property)
+    _visits: int = field(default=0, init=False, repr=False, compare=False)
+    #: live (queue, entry) probe installed while the request is queued
+    #: under lazy O3 accounting, so reads see the up-to-date skip count
+    _queue_probe: Any = field(default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0:
@@ -72,6 +78,37 @@ class InferenceRequest:
             raise ValueError("arrival_time cannot be negative")
         if self.sla_s is not None and self.sla_s <= 0:
             raise ValueError("sla_s must be positive when set")
+
+    @property
+    def visits(self) -> int:
+        """Times this request was skipped by the O3 dispatch (Alg. 1 line 15).
+
+        While the request sits in a visit-tracking :class:`GlobalQueue`
+        the count is maintained *lazily* (one O(log n) prefix update per
+        scheduling scan instead of touching every queued request); the
+        probe resolves the live value on read.
+        """
+        probe = self._queue_probe
+        if probe is not None:
+            queue, entry = probe
+            return queue._entry_visits(entry)
+        return self._visits
+
+    @visits.setter
+    def visits(self, value: int) -> None:
+        probe = self._queue_probe
+        if probe is not None:
+            queue, entry = probe
+            queue._entry_set_visits(entry, value)
+        self._visits = value
+
+    def _attach_queue_entry(self, queue: Any, entry: Any) -> None:
+        self._queue_probe = (queue, entry)
+
+    def _detach_queue_entry(self, entry: Any) -> None:
+        probe = self._queue_probe
+        if probe is not None and probe[1] is entry:
+            self._queue_probe = None
 
     @property
     def met_sla(self) -> bool | None:

@@ -49,13 +49,19 @@ class Scheduler:
         self.cache = cache
         self.estimator = estimator
         self.local_queues = estimator.local_queues
-        self.global_queue = GlobalQueue()
+        # LALB policies carry an O3 limit: hand it to the queue so it can
+        # run the lazy visit accounting the index-driven fast path needs
+        self.global_queue = GlobalQueue(o3_limit=getattr(policy, "limit", None))
         self.datastore = datastore
         self.tenancy = tenancy
         self._managers = gpu_managers  # node_id -> GPUManager
         self._scheduling = False
         self.dispatched_count = 0
         self.decisions = DecisionLog()
+        # cached frequency-sorted idle view (rebuilt when any GPU's state
+        # or completion count changes; see Cluster.version)
+        self._freq_version = -1
+        self._freq_cache: list[GPUDevice] = []
 
     # ------------------------------------------------------------------
     # Entry points
@@ -119,11 +125,19 @@ class Scheduler:
         """Idle GPUs, most-used first (Alg. 1's "sorted by frequency").
 
         Frequency is the number of requests the GPU has completed; ties
-        break on gpu_id for determinism.
+        break on gpu_id for determinism.  The sorted view is cached and
+        only rebuilt when some GPU's state or completion count changed, so
+        repeated calls within a pass — and the no-idle-GPU hot case — cost
+        O(1) instead of a scan-and-sort.  Callers must not mutate the
+        returned list.
         """
-        return sorted(
-            self.cluster.idle_gpus(), key=lambda g: (-g.completed_requests, g.gpu_id)
-        )
+        version = self.cluster.version
+        if version != self._freq_version:
+            self._freq_cache = sorted(
+                self.cluster.idle_gpus(), key=lambda g: (-g.completed_requests, g.gpu_id)
+            )
+            self._freq_version = version
+        return self._freq_cache
 
     def busy_gpus(self) -> list[GPUDevice]:
         return self.cluster.busy_gpus()

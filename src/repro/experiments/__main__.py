@@ -8,6 +8,7 @@ Usage::
     python -m repro.experiments fig6
     python -m repro.experiments fig7
     python -m repro.experiments all
+    python -m repro.experiments bench   # scheduler perf → BENCH_scheduler.json
 """
 
 from __future__ import annotations
@@ -28,10 +29,19 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "target",
-        choices=["table1", "fig4", "fig5", "fig6", "fig7", "ablations", "all"],
+        choices=["table1", "fig4", "fig5", "fig6", "fig7", "ablations", "bench", "all"],
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--bench-output", default=None, help="path for the bench JSON report"
+    )
     args = parser.parse_args(argv)
+
+    if args.target == "bench":
+        from .bench import run_bench
+
+        run_bench(args.bench_output)
+        return 0
 
     if args.target == "table1":
         print(format_table1(table1_from_paper()))

@@ -1,0 +1,101 @@
+"""Scheduler-overhead benchmark runner → ``BENCH_scheduler.json``.
+
+``python -m repro.experiments bench`` (or ``make bench``) runs the
+``benchmarks/test_scheduler_overhead.py`` suite under pytest-benchmark and
+distills the results into a small committed JSON file: the median cost of
+one scheduling pass at queue depths 100 / 2 000 / 20 000 plus the index
+micro-benches.  Each PR re-runs it, so the repository carries a perf
+trajectory for the scheduling hot path instead of anecdotes.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+__all__ = ["run_bench", "DEFAULT_OUTPUT"]
+
+DEFAULT_OUTPUT = "BENCH_scheduler.json"
+_SUITE = Path("benchmarks") / "test_scheduler_overhead.py"
+#: end-to-end fig4 runs ride along so the trajectory also tracks whole-
+#: experiment wall time, not only the scheduling micro-benches
+_EXTRA_SUITES = (
+    Path("benchmarks") / "test_fig4_latency.py",
+)
+
+
+def _repo_root() -> Path:
+    """The checkout root (where ``benchmarks/`` lives), else the cwd."""
+    candidate = Path(__file__).resolve().parents[3]
+    if (candidate / _SUITE).exists():
+        return candidate
+    return Path.cwd()
+
+
+def _git_revision(root: Path) -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=root, capture_output=True, text=True, timeout=10,
+        )
+    except OSError:
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def run_bench(output: str | None = None, *, verbose: bool = True) -> dict:
+    """Run the scheduler-overhead suite and write the perf-trajectory JSON."""
+    root = _repo_root()
+    suite = root / _SUITE
+    if not suite.exists():
+        raise FileNotFoundError(f"benchmark suite not found: {suite}")
+    suites = [str(suite)] + [str(root / s) for s in _EXTRA_SUITES if (root / s).exists()]
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        raw_path = Path(tmp.name)
+    try:
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "pytest", *suites, "-q",
+                f"--benchmark-json={raw_path}",
+            ],
+            cwd=root,
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(f"benchmark suite failed (exit {proc.returncode})")
+        raw = json.loads(raw_path.read_text())
+    finally:
+        raw_path.unlink(missing_ok=True)
+
+    benchmarks = {}
+    pass_cost_by_depth = {}
+    for bench in raw["benchmarks"]:
+        stats = bench["stats"]
+        benchmarks[bench["name"]] = {
+            "median_s": stats["median"],
+            "mean_s": stats["mean"],
+            "rounds": stats["rounds"],
+        }
+        match = re.fullmatch(r"test_scheduling_scan_cost_at_depth\[(\d+)\]", bench["name"])
+        if match:
+            pass_cost_by_depth[match.group(1)] = stats["median"]
+
+    report = {
+        "suite": "scheduler_overhead",
+        "commit": _git_revision(root),
+        "machine": raw.get("machine_info", {}).get("cpu", {}).get("brand_raw"),
+        "pass_cost_by_depth_s": dict(
+            sorted(pass_cost_by_depth.items(), key=lambda kv: int(kv[0]))
+        ),
+        "benchmarks": dict(sorted(benchmarks.items())),
+    }
+    out_path = root / (output or DEFAULT_OUTPUT)
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
+    if verbose:
+        print(f"wrote {out_path}")
+        for depth, median in report["pass_cost_by_depth_s"].items():
+            print(f"  pass cost @ depth {depth:>6}: {median * 1e6:8.1f} us")
+    return report

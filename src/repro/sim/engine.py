@@ -48,10 +48,18 @@ class Event:
     fn: Callable[..., Any] = field(compare=False)
     args: tuple = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
+    _sim: Any = field(compare=False, default=None, repr=False)
+    _popped: bool = field(compare=False, default=False, repr=False)
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        # keep the simulator's live-event count exact without scanning the
+        # heap: an event still pending when cancelled stops counting now
+        if self._sim is not None and not self._popped:
+            self._sim._live -= 1
 
 
 class Simulator:
@@ -74,6 +82,7 @@ class Simulator:
         self._seq = itertools.count()
         self._running = False
         self._processed = 0
+        self._live = 0  # pending non-cancelled events (O(1) __len__)
         self._trace_hook: Callable[[float, str], Any] | None = None
 
     def set_trace(self, hook: Callable[[float, str], Any] | None) -> None:
@@ -96,8 +105,12 @@ class Simulator:
         return self._processed
 
     def __len__(self) -> int:
-        """Number of pending (non-cancelled) events."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of pending (non-cancelled) events.
+
+        O(1): maintained incrementally on schedule/cancel/fire instead of
+        scanning the heap (timeline samplers probe this every tick).
+        """
+        return self._live
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -118,8 +131,12 @@ class Simulator:
             raise SimError("event time is NaN")
         if time < self._now:
             raise SimError(f"cannot schedule in the past: {time} < {self._now}")
-        ev = Event(time=float(time), priority=priority, seq=next(self._seq), fn=fn, args=args)
+        ev = Event(
+            time=float(time), priority=priority, seq=next(self._seq), fn=fn, args=args,
+            _sim=self,
+        )
         heapq.heappush(self._heap, ev)
+        self._live += 1
         return ev
 
     def call_soon(self, fn: Callable[..., Any], *args: Any, priority: int = 0) -> Event:
@@ -140,6 +157,8 @@ class Simulator:
         if not self._heap:
             return False
         ev = heapq.heappop(self._heap)
+        ev._popped = True
+        self._live -= 1
         self._now = ev.time
         self._processed += 1
         if self._trace_hook is not None:
@@ -170,6 +189,8 @@ class Simulator:
                 if until is not None and self._heap[0].time > until:
                     break
                 ev = heapq.heappop(self._heap)
+                ev._popped = True
+                self._live -= 1
                 self._now = ev.time
                 self._processed += 1
                 if self._trace_hook is not None:
@@ -188,8 +209,11 @@ class Simulator:
         while self._heap:
             ev = heapq.heappop(self._heap)
             if not ev.cancelled:
+                ev._popped = True
+                self._live -= 1
                 yield ev
 
     def _drop_cancelled(self) -> None:
+        # cancelled events already left the live count at cancel() time
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            heapq.heappop(self._heap)._popped = True

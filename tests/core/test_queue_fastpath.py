@@ -1,0 +1,162 @@
+"""Unit tests for the GlobalQueue's index-driven fast-path machinery:
+
+lazy O3-visit accounting (prefix bumps + materialization), the ordered
+starved set, positional ``push_sorted``, and the allocation-free live walk.
+The end-to-end guarantees are covered by ``test_decision_parity``; these
+tests pin the queue-level contracts directly.
+"""
+
+import pytest
+
+from repro.core.queues import GlobalQueue
+
+
+def _push_n(q, make_request, n, prefix="fn", arch="alexnet"):
+    reqs = [make_request(f"{prefix}-{i}", arch, arrival=float(i)) for i in range(n)]
+    for r in reqs:
+        q.push(r)
+    return reqs
+
+
+class TestLazyVisits:
+    def test_bump_counts_prefix_only(self, make_request):
+        q = GlobalQueue(o3_limit=25)
+        reqs = _push_n(q, make_request, 5)
+        stop = q.first_entry_for_model(reqs[3].model_id)
+        assert stop.request is reqs[3]  # each request deploys its own instance
+        assert stop.slot == 3
+        q.bump_visits_before(stop.slot)
+        assert [r.visits for r in reqs] == [1, 1, 1, 0, 0]
+        q.bump_visits_before(None)  # whole queue
+        assert [r.visits for r in reqs] == [2, 2, 2, 1, 1]
+
+    def test_visits_materialized_on_remove(self, make_request):
+        q = GlobalQueue(o3_limit=25)
+        reqs = _push_n(q, make_request, 3)
+        q.bump_visits_before(None)
+        q.bump_visits_before(None)
+        q.remove(reqs[1])
+        assert reqs[1].visits == 2  # frozen at removal
+        q.bump_visits_before(None)
+        assert reqs[1].visits == 2  # no longer tracked
+        assert reqs[0].visits == 3
+
+    def test_direct_writes_stay_consistent(self, make_request):
+        """The reference scan's `visits += 1` and lazy bumps may interleave."""
+        q = GlobalQueue(o3_limit=25)
+        (r,) = _push_n(q, make_request, 1)
+        q.bump_visits_before(None)
+        r.visits += 1
+        q.bump_visits_before(None)
+        assert r.visits == 3
+
+    def test_untracked_queue_rejects_bumps(self, make_request):
+        q = GlobalQueue()
+        assert not q.tracks_visits
+        with pytest.raises(RuntimeError):
+            q.bump_visits_before(None)
+
+
+class TestStarvedSet:
+    def test_starved_surface_in_queue_order(self, make_request):
+        q = GlobalQueue(o3_limit=1)
+        reqs = _push_n(q, make_request, 4)
+        q.bump_visits_before(3)  # visits=1 for slots 0..2
+        assert q.starved_entries_before(None) == []
+        q.bump_visits_before(2)  # slots 0..1 cross the limit
+        starved = q.starved_entries_before(None)
+        assert [e.request for e in starved] == reqs[:2]
+        assert all(e.request.visits == 2 for e in starved)  # frozen at limit+1
+
+    def test_starved_never_bumped_again(self, make_request):
+        q = GlobalQueue(o3_limit=0)
+        reqs = _push_n(q, make_request, 2)
+        q.bump_visits_before(None)
+        q.bump_visits_before(None)
+        q.bump_visits_before(None)
+        assert [r.visits for r in reqs] == [1, 1]  # starved counts freeze
+
+    def test_stop_slot_filters_starved(self, make_request):
+        q = GlobalQueue(o3_limit=0)
+        reqs = _push_n(q, make_request, 3)
+        q.bump_visits_before(None)  # limit 0: every covered request starves
+        entry = q.first_entry_for_model(reqs[2].model_id)
+        assert [e.request for e in q.starved_entries_before(entry.slot)] == reqs[:2]
+        assert len(q.starved_entries_before(None)) == 3
+
+    def test_requeued_request_keeps_starvation(self, make_request):
+        """Fairness: resubmit preserves visits, so a starved request must
+        surface immediately after re-insertion."""
+        q = GlobalQueue(o3_limit=2)
+        reqs = _push_n(q, make_request, 2)
+        for _ in range(3):
+            q.bump_visits_before(None)
+        q.remove(reqs[0])
+        assert reqs[0].visits == 3
+        q.push_sorted(reqs[0])
+        starved = q.starved_entries_before(None)
+        assert reqs[0] in [e.request for e in starved]
+        assert reqs[0] is q.head()  # re-inserted at its arrival position
+
+
+class TestPushSortedIncremental:
+    def test_model_index_order_after_reinsertion(self, make_request):
+        q = GlobalQueue(o3_limit=25)
+        a0 = make_request("fn-a", arrival=0.0)
+        b = make_request("fn-b", arrival=1.0)
+        a2 = make_request("fn-a", arrival=2.0)
+        for r in (a0, b, a2):
+            q.push(r)
+        q.remove(a0)
+        assert q.first_for_model(a0.model_id) is a2
+        q.push_sorted(a0)
+        assert q.first_for_model(a0.model_id) is a0  # back in front of a2
+        assert [r.arrival_time for r in q] == [0.0, 1.0, 2.0]
+
+    def test_visits_survive_reindex(self, make_request):
+        q = GlobalQueue(o3_limit=25)
+        reqs = _push_n(q, make_request, 4)
+        q.bump_visits_before(None)
+        q.remove(reqs[1])
+        q.push_sorted(reqs[1])  # forces a full re-index
+        assert [r.visits for r in reqs] == [1, 1, 1, 1]
+        q.bump_visits_before(None)
+        assert [r.visits for r in reqs] == [2, 2, 2, 2]
+
+
+class TestLiveIteration:
+    def test_iter_requests_skips_removed_ahead(self, make_request):
+        q = GlobalQueue()
+        reqs = _push_n(q, make_request, 4)
+        seen = []
+        for r in q.iter_requests():
+            seen.append(r)
+            if r is reqs[0]:
+                q.remove(reqs[2])
+        assert seen == [reqs[0], reqs[1], reqs[3]]
+
+    def test_iter_requests_survives_reindex(self, make_request):
+        q = GlobalQueue()
+        reqs = _push_n(q, make_request, 4)
+        late = make_request("fn-late", arrival=1.5)
+        seen = []
+        for r in q.iter_requests():
+            seen.append(r)
+            if r is reqs[1]:
+                q.push_sorted(late)  # renumbers every slot mid-walk
+        assert seen == [reqs[0], reqs[1], late, reqs[2], reqs[3]]
+
+    def test_hole_compaction_preserves_order(self, make_request):
+        q = GlobalQueue(o3_limit=25)
+        reqs = _push_n(q, make_request, 200)
+        q.bump_visits_before(None)
+        for r in reqs[:150]:
+            q.remove(r)
+        # appending past the hole threshold compacts the entry array
+        extra = make_request("fn-extra", arrival=500.0)
+        q.push(extra)
+        assert list(q) == reqs[150:] + [extra]
+        assert [r.visits for r in reqs[150:]] == [1] * 50
+        q.bump_visits_before(None)
+        assert [r.visits for r in reqs[150:]] == [2] * 50
+        assert extra.visits == 1
