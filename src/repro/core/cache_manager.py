@@ -12,7 +12,11 @@ Treats the models uploaded to each GPU's memory as cache items:
   cached, and shares this information with the Scheduler through the
   Datastore"),
 * mirrors each GPU's LRU list and every model's locations into the
-  Datastore.
+  Datastore — as *dirty keys*: each cache event marks the touched GPU's
+  LRU key and the model's location key via ``put_lazy``, and the eviction
+  order is serialized once per write-batch flush rather than once per
+  touch (against a batched Datastore, ten LRU touches within one
+  scheduling action commit as one transaction carrying one list).
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ from __future__ import annotations
 from typing import Callable, Protocol
 
 from ..cluster.gpu import GPUDevice
+from ..datastore.batch import DELETE
 from ..datastore.client import DatastoreClient
 from ..models.profiles import ModelInstance
 from ..sim import Simulator
@@ -144,12 +149,20 @@ class CacheManager:
             fn(kind, gpu_id, model_id, self.sim.now)
 
     def _publish(self, gpu_id: str, model_id: str) -> None:
-        """Mirror LRU list and locations into the Datastore (§III-E)."""
+        """Mark the GPU's LRU list and the model's locations dirty (§III-E).
+
+        The values are supplied lazily: a batched Datastore evaluates the
+        thunks once at flush time (dirty-key semantics — repeated touches
+        between flushes serialize the eviction order once), an unbatched
+        one immediately, preserving the literal per-put path.  An empty
+        location list deletes the key, exactly like the eager path did.
+        """
         if self._datastore is None:
             return
-        self._datastore.put(f"gpu/lru/{gpu_id}", self._policies[gpu_id].eviction_order())
-        locs = self.locations(model_id)
-        if locs:
-            self._datastore.put(f"cache/locations/{model_id}", locs)
-        else:
-            self._datastore.delete(f"cache/locations/{model_id}")
+        self._datastore.put_lazy(
+            f"gpu/lru/{gpu_id}", self._policies[gpu_id].eviction_order
+        )
+        self._datastore.put_lazy(
+            f"cache/locations/{model_id}",
+            lambda model_id=model_id: self.locations(model_id) or DELETE,
+        )

@@ -8,6 +8,14 @@ against the model *loading* time on an idle GPU (Alg. 2 lines 10–11).
 Estimates come from the profiled per-model load/inference latencies
 (Table I or the profiler) — the estimator never peeks at simulator
 internals beyond what a real deployment would know.
+
+The per-GPU queued-work term is maintained **incrementally**: the
+estimator subscribes to local-queue push/pop and keeps a running
+inference-time sum per GPU, so :meth:`estimated_finish_time` is O(1)
+instead of re-walking the GPU's local queue on every Alg. 2 comparison.
+The sum resets to exactly 0.0 whenever a queue empties (bounding
+floating-point drift) and falls back to a lazy reference walk for GPUs the
+estimator has not yet seen a device object for.
 """
 
 from __future__ import annotations
@@ -36,10 +44,41 @@ class FinishTimeEstimator:
         #: absolute time at which each GPU finishes its in-flight request;
         #: maintained by the GPU Managers on every dispatch/completion.
         self._busy_until: dict[str, float] = {}
+        #: gpu_id -> device, for costing queue mutations as they happen
+        self._devices: dict[str, GPUDevice] = {}
+        #: gpu_id -> running sum of queued inference times; None marks a
+        #: sum that must be lazily recomputed (mutation seen before the
+        #: device was known)
+        self._queued_cost: dict[str, float | None] = {}
+        local_queues.subscribe(self._on_queue_change)
 
     # ------------------------------------------------------------------
     # Maintained by GPU Managers
     # ------------------------------------------------------------------
+    def register_gpus(self, gpus: list[GPUDevice]) -> None:
+        """Make devices known up front so queue mutations can be costed
+        incrementally from the first push; empty queues start at an exact
+        0.0 sum."""
+        for gpu in gpus:
+            self._devices[gpu.gpu_id] = gpu
+            if self.local_queues.length(gpu.gpu_id) == 0:
+                self._queued_cost[gpu.gpu_id] = 0.0
+
+    def _on_queue_change(self, gpu_id: str, request: InferenceRequest, added: bool) -> None:
+        if self.local_queues.length(gpu_id) == 0:
+            # exact resync at every empty point: incremental float error
+            # cannot accumulate across queue generations
+            self._queued_cost[gpu_id] = 0.0
+            return
+        device = self._devices.get(gpu_id)
+        current = self._queued_cost.get(gpu_id)
+        if device is None:
+            self._queued_cost[gpu_id] = None  # recompute on next estimate
+            return
+        if current is None:
+            return  # sum unknown (mutation preceded the device): stays lazy
+        cost = self.infer_time(request, device)
+        self._queued_cost[gpu_id] = current + cost if added else current - cost
     def set_busy_until(self, gpu_id: str, t: float) -> None:
         self._busy_until[gpu_id] = t
 
@@ -61,6 +100,28 @@ class FinishTimeEstimator:
         """Profiled model-upload latency of ``request`` on ``gpu``'s type."""
         return self.registry.get(request.model.architecture, gpu.gpu_type).load_time_s
 
+    def queued_cost(self, gpu: GPUDevice) -> float:
+        """Total inference time queued on ``gpu``'s local queue (O(1)).
+
+        Served from the running sum the local-queue observer maintains;
+        recomputed by reference walk only when a mutation arrived before
+        the device was known (stand-alone estimator uses).
+        """
+        cost = self._queued_cost.get(gpu.gpu_id)
+        if cost is None:
+            cost = self.reference_queued_cost(gpu)
+            self._queued_cost[gpu.gpu_id] = cost
+            self._devices.setdefault(gpu.gpu_id, gpu)
+        return cost
+
+    def reference_queued_cost(self, gpu: GPUDevice) -> float:
+        """The literal queue walk the running sum replaces (kept for lazy
+        recomputes and the incremental-vs-reference test assertions)."""
+        cost = 0.0
+        for req in self.local_queues.requests(gpu.gpu_id):
+            cost += self.infer_time(req, gpu)
+        return cost
+
     def estimated_finish_time(self, gpu: GPUDevice) -> float:
         """Absolute time when ``gpu`` would finish everything already bound
         to it: the in-flight request plus its local queue.
@@ -68,10 +129,7 @@ class FinishTimeEstimator:
         Local-queue requests were bound there *because* their model is
         cached (Alg. 2), so they are costed as cache hits.
         """
-        t = max(self.busy_until(gpu.gpu_id), self.sim.now)
-        for req in self.local_queues.requests(gpu.gpu_id):
-            t += self.infer_time(req, gpu)
-        return t
+        return max(self.busy_until(gpu.gpu_id), self.sim.now) + self.queued_cost(gpu)
 
     def wait_time(self, gpu: GPUDevice) -> float:
         """Seconds until ``gpu`` could start a newly bound request."""

@@ -13,6 +13,13 @@ node.  For each dispatched request it:
 
 Execution is event-driven: upload and inference durations come from the
 profiled model latencies and elapse on the simulated clock.
+
+Datastore writes (status, finish time, latency records) go through the
+manager's :class:`~repro.datastore.client.DatastoreClient`; against a
+batched Datastore every write a single step issues — e.g. a completion's
+LRU touch + status flip + latency record — accumulates and commits as one
+transaction at the action boundary (the Scheduler's flush or the
+simulator's post-event hook), one revision, one coalesced watch batch.
 """
 
 from __future__ import annotations

@@ -175,6 +175,12 @@ class LocalityOnlyPolicy(SchedulingPolicy):
             if s.local_queues.peek(gpu.gpu_id) is not None:
                 s.dispatch_local_head(gpu)
                 progress = True
+        # One pass-local idle view instead of re-probing per queue entry:
+        # within a pass GPUs only *leave* the idle set (completions arrive
+        # as separate simulator events) and completion counts are frozen,
+        # so filtering the snapshot on ``is_idle`` yields exactly the
+        # membership and frequency order a fresh probe would.
+        idle_view = s.idle_gpus_by_frequency()
         # the fast iteration allocates no snapshot; each visited request is
         # either left in place or removed, so the live walk sees the same
         # sequence as the reference snapshot
@@ -191,8 +197,10 @@ class LocalityOnlyPolicy(SchedulingPolicy):
             else:
                 idle = [
                     g
-                    for g in s.idle_gpus_by_frequency()
-                    if s.local_queues.peek(g.gpu_id) is None and s.may_dispatch(request, g)
+                    for g in idle_view
+                    if g.is_idle
+                    and s.local_queues.peek(g.gpu_id) is None
+                    and s.may_dispatch(request, g)
                 ]
                 if idle:
                     s.dispatch(request, idle[0])

@@ -29,7 +29,7 @@ from __future__ import annotations
 import itertools
 from bisect import bisect_left, bisect_right, insort
 from collections import deque
-from typing import Iterator
+from typing import Callable, Iterator
 
 from .request import InferenceRequest, RequestState
 
@@ -490,23 +490,40 @@ class GlobalQueue:
 
 
 class LocalQueues:
-    """Per-GPU FIFO queues of requests bound to busy GPUs (Alg. 2 line 12)."""
+    """Per-GPU FIFO queues of requests bound to busy GPUs (Alg. 2 line 12).
+
+    Observers (the finish-time estimator) subscribe to push/pop so they can
+    maintain running per-GPU cost sums instead of re-walking a queue per
+    estimate; hooks fire *after* the queue mutates, so an observer reading
+    :meth:`length` sees the post-mutation state.
+    """
 
     def __init__(self) -> None:
         self._queues: dict[str, deque[InferenceRequest]] = {}
         self._total = 0
+        # fn(gpu_id, request, added): added=True on push, False on pop
+        self._observers: list[Callable[[str, InferenceRequest, bool], None]] = []
+
+    def subscribe(self, fn: Callable[[str, InferenceRequest, bool], None]) -> None:
+        """Register a push/pop observer: ``fn(gpu_id, request, added)``."""
+        self._observers.append(fn)
 
     def push(self, gpu_id: str, request: InferenceRequest) -> None:
         request.state = RequestState.LOCAL_QUEUED
         self._queues.setdefault(gpu_id, deque()).append(request)
         self._total += 1
+        for fn in self._observers:
+            fn(gpu_id, request, True)
 
     def pop(self, gpu_id: str) -> InferenceRequest:
         q = self._queues.get(gpu_id)
         if not q:
             raise IndexError(f"local queue of {gpu_id} is empty")
         self._total -= 1
-        return q.popleft()
+        request = q.popleft()
+        for fn in self._observers:
+            fn(gpu_id, request, False)
+        return request
 
     def peek(self, gpu_id: str) -> InferenceRequest | None:
         q = self._queues.get(gpu_id)

@@ -71,10 +71,12 @@ class Scheduler:
         request.state = RequestState.QUEUED
         self.global_queue.push(request)
         self._run_policy()
+        self._flush_writes()
 
     def on_gpu_idle(self, gpu: GPUDevice) -> None:
         """GPU Manager callback: a GPU finished its request."""
         self._run_policy()
+        self._flush_writes()
 
     def drain_local(self, gpu_id: str) -> list[InferenceRequest]:
         """Empty a GPU's local queue (failure handling): the locality that
@@ -90,6 +92,24 @@ class Scheduler:
         self._record(DecisionKind.RESUBMIT, request, None)
         self.global_queue.push_sorted(request)
         self._run_policy()
+        self._flush_writes()
+
+    def _flush_writes(self) -> None:
+        """Commit the scheduling action's accumulated Datastore writes.
+
+        The batched write path accumulates every put this action caused —
+        cache touches, status flips, finish-time estimates, latency
+        records — in the Datastore's shared WriteBatch; committing here
+        turns the whole action into one transaction, one revision, and one
+        coalesced watch notification.  Inside a simulator event the flush
+        defers to the post-event hook instead, so a handler that calls
+        several scheduler entry points (e.g. a failure resubmitting many
+        requests) still commits as a single action.  With batching off (or
+        no Datastore) this is a no-op, preserving the literal per-put
+        behaviour.
+        """
+        if self.datastore is not None and not self.sim.is_running:
+            self.datastore.flush()
 
     def _run_policy(self) -> None:
         """Run scheduling passes until the policy makes no more progress.

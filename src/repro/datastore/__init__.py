@@ -1,17 +1,29 @@
-"""etcd-like Datastore: MVCC KV store, watches, leases, transactions."""
+"""etcd-like Datastore: MVCC KV store, watches, leases, transactions, and
+the control plane's batched write path (:class:`WriteBatch`).
 
-from .client import Datastore, DatastoreClient
-from .kv import CompactedError, KeyValue, KVStore
+Mutations commit either one-per-revision (``KVStore.put``/``delete``) or as
+atomic multi-key batches (``KVStore.apply_batch`` — one revision,
+last-write-wins per key, one coalesced watch delivery), which is what
+``Datastore(batched=True)`` builds the control-plane write path on.
+"""
+
+from .batch import DELETE, WriteBatch
+from .client import Datastore, DatastoreClient, WriteStats
+from .kv import BatchCommit, CompactedError, KeyValue, KVStore
 from .lease import Lease, LeaseManager
 from .txn import Compare, CompareTarget, Op, Txn, TxnResult
-from .watch import EventType, Watch, WatchEvent, WatchHub
+from .watch import EventType, Watch, WatchBatch, WatchEvent, WatchHub
 
 __all__ = [
     "Datastore",
     "DatastoreClient",
+    "WriteStats",
+    "BatchCommit",
     "CompactedError",
     "KeyValue",
     "KVStore",
+    "DELETE",
+    "WriteBatch",
     "Lease",
     "LeaseManager",
     "Compare",
@@ -21,6 +33,7 @@ __all__ = [
     "TxnResult",
     "EventType",
     "Watch",
+    "WatchBatch",
     "WatchEvent",
     "WatchHub",
 ]

@@ -1,0 +1,169 @@
+"""The control plane's batched write path: :class:`WriteBatch`.
+
+Every scheduling action in the paper's control plane touches several
+Datastore keys — an LRU list, a model's locations, the GPU's status and
+estimated finish time, a latency record.  Issued as individual ``put``
+calls each one bumps the MVCC revision and synchronously fans out watch
+notifications; real etcd clients instead batch related mutations into one
+transaction and receive one watch response per revision.
+
+A :class:`WriteBatch` accumulates those dirty keys and commits them with
+one :meth:`KVStore.apply_batch` call: **one atomic transaction → one
+revision → one coalesced watch batch**, last-write-wins per key.  Two
+kinds of entry exist:
+
+* ``put(key, value)`` / ``delete(key)`` — eager: the value is captured at
+  call time (repeated writes to one key keep only the last);
+* ``put_lazy(key, thunk)`` — a *dirty-key* entry: only the key is marked
+  dirty and ``thunk()`` is evaluated once at flush time.  This is how the
+  Cache Manager mirrors LRU lists — ten touches between flushes serialize
+  the eviction order once, not ten times.  A thunk may return
+  :data:`DELETE` to turn the entry into a delete (e.g. a model's location
+  list becoming empty).
+
+The batch also answers overlay reads (:meth:`peek`) so a batched
+:class:`~repro.datastore.client.DatastoreClient` keeps read-your-writes
+semantics between flushes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+from .kv import BatchCommit, KVStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .lease import Lease
+
+__all__ = ["DELETE", "WriteBatch"]
+
+
+class _Delete:
+    """Sentinel a lazy thunk returns to request deletion of its key."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<DELETE>"
+
+
+DELETE = _Delete()
+
+_PUT = "put"
+_LAZY = "lazy"
+_DEL = "delete"
+
+
+class WriteBatch:
+    """Accumulates puts/deletes; :meth:`flush` commits them as one txn."""
+
+    def __init__(self, store: KVStore) -> None:
+        self._store = store
+        # key -> (kind, payload, lease, fresh); insertion order = first-touch
+        # order, which becomes the committed batch's event order.  ``fresh``
+        # marks a put that overwrote a pending delete: the flush re-emits the
+        # delete before it so the store recreates the key (version 1), just
+        # as the sequential delete-then-put would have.
+        self._pending: dict[str, tuple[str, Any, "Lease | None", bool]] = {}
+        #: writes absorbed by last-write-wins since the last flush — each
+        #: one is a revision bump (and watch fan-out) the batch removed
+        self.overwritten = 0
+
+    # ------------------------------------------------------------------
+    # Accumulation
+    # ------------------------------------------------------------------
+    def _record_put(
+        self, key: str, kind: str, payload: Any, lease: "Lease | None"
+    ) -> None:
+        prior = self._pending.get(key)
+        fresh = False
+        if prior is not None:
+            self.overwritten += 1
+            fresh = prior[0] == _DEL or prior[3]  # put lands over a delete
+        self._pending[key] = (kind, payload, lease, fresh)
+
+    def put(self, key: str, value: Any, *, lease: "Lease | None" = None) -> None:
+        """Record a put; overwrites any pending entry for ``key``."""
+        self._record_put(key, _PUT, value, lease)
+
+    def put_lazy(
+        self, key: str, thunk: Callable[[], Any], *, lease: "Lease | None" = None
+    ) -> None:
+        """Mark ``key`` dirty; ``thunk()`` supplies the value at flush time
+        (or :data:`DELETE` to delete the key instead)."""
+        self._record_put(key, _LAZY, thunk, lease)
+
+    def delete(self, key: str) -> None:
+        """Record a delete; overwrites any pending entry for ``key``."""
+        if key in self._pending:
+            self.overwritten += 1
+        self._pending[key] = (_DEL, None, None, False)
+
+    # ------------------------------------------------------------------
+    # Overlay reads (read-your-writes between flushes)
+    # ------------------------------------------------------------------
+    def peek(self, key: str) -> tuple[str, Any] | None:
+        """Pending state of ``key``: ``("put", value)``, ``("delete",
+        None)``, or None when the batch does not touch it.  Lazy thunks are
+        evaluated fresh — they reflect the live component state that would
+        be committed if the flush happened now."""
+        entry = self._pending.get(key)
+        if entry is None:
+            return None
+        kind, payload, _, _ = entry
+        if kind == _LAZY:
+            value = payload()
+            return (_DEL, None) if value is DELETE else (_PUT, value)
+        return (kind, payload)
+
+    def pending_items(self) -> Iterator[tuple[str, str, Any]]:
+        """Iterate ``(key, kind, value)`` of every pending entry (lazy
+        thunks evaluated), for range-overlay reads."""
+        for key in list(self._pending):
+            resolved = self.peek(key)
+            if resolved is not None:
+                yield key, resolved[0], resolved[1]
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __bool__(self) -> bool:
+        return bool(self._pending)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._pending
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+    def flush(self) -> BatchCommit:
+        """Commit every pending entry as one atomic transaction.
+
+        Lazy thunks are resolved now, leases attach to their committed
+        keys, and the pending set is cleared *before* the store applies the
+        batch so watcher callbacks that issue new writes start the next
+        batch instead of mutating the one being committed.
+        """
+        pending, self._pending = self._pending, {}
+        if not pending:
+            return BatchCommit(revision=None, events=(), existed={})
+        ops: list[tuple] = []
+        leases: list[tuple[str, "Lease"]] = []
+        for key, (kind, payload, lease, fresh) in pending.items():
+            if kind == _LAZY:
+                value = payload()
+                kind, payload = (_DEL, None) if value is DELETE else (_PUT, value)
+            if kind == _PUT:
+                if fresh:
+                    # replay the absorbed delete so the store recreates the
+                    # key instead of versioning over the pre-batch value
+                    ops.append(("delete", key))
+                ops.append(("put", key, payload))
+                if lease is not None:
+                    leases.append((key, lease))
+            else:
+                ops.append(("delete", key))
+        commit = self._store.apply_batch(ops)
+        if commit.revision is not None:
+            for key, lease in leases:
+                if lease.alive:
+                    lease.attach(key)
+        return commit

@@ -1,7 +1,9 @@
 """Datastore facade and the key schema shared by the FaaS components.
 
-:class:`Datastore` bundles the MVCC store, watch hub, and lease manager.
-:class:`DatastoreClient` adds a key-prefix namespace per component.
+:class:`Datastore` bundles the MVCC store, watch hub, lease manager, and —
+when built with ``batched=True`` — the control plane's shared
+:class:`~repro.datastore.batch.WriteBatch`.  :class:`DatastoreClient` adds
+a key-prefix namespace per component.
 
 Key schema (paper §III-E: "The Datastore stores the estimated latency of
 each inference request, the LRU list of each GPU, and the status of each
@@ -18,29 +20,87 @@ key                             value
 ``fn/latency/<request_id>``     dict, per-invocation latency record
 ``fn/scale/<fn_name>``          int, current replica count
 ==============================  =============================================
+
+Batched write path
+------------------
+With ``batched=True`` every client ``put``/``delete``/``put_lazy`` lands in
+the Datastore's single pending :class:`WriteBatch` instead of committing
+immediately.  All writes of one scheduling action — a cache touch, the GPU
+status flip, the finish-time estimate, the latency record — then flush as
+**one atomic transaction → one revision → one coalesced watch batch**
+(last-write-wins per key).  Flushing happens at the control plane's action
+boundaries: the Scheduler's entry points, the Gateway's CRUD/invoke calls,
+and (as the safety net covering every other event handler) a simulator
+post-event hook.  Client reads overlay the pending batch, so components
+keep read-your-writes semantics between flushes.  ``batched=False`` (the
+default for a bare :class:`Datastore`) preserves the literal one-revision-
+per-put path.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from ..sim import Simulator
+from .batch import DELETE, WriteBatch
 from .kv import KeyValue, KVStore
 from .lease import Lease, LeaseManager
 from .txn import Txn
 from .watch import Watch, WatchEvent, WatchHub
 
-__all__ = ["Datastore", "DatastoreClient"]
+__all__ = ["Datastore", "DatastoreClient", "WriteStats"]
+
+#: bounded settle loop: a flush may wake watchers that issue new writes;
+#: they flush too, but a watcher that writes on every delivery would
+#: otherwise spin forever
+_MAX_FLUSH_CASCADE = 25
+
+
+@dataclass
+class WriteStats:
+    """Write-amplification counters for the control-plane write path.
+
+    ``logical_writes`` counts every client ``put``/``put_lazy``/``delete``
+    call — what the components *asked* for, in either mode.  ``flushes``,
+    ``committed_keys``, and ``coalesced_writes`` describe the batched path
+    only (they stay 0 with batching off, where every logical write commits
+    individually and the revision counter tracks the logical stream).
+    Revisions come from ``kv.revision``; ``writes-per-revision`` (logical /
+    revisions) is the amplification the batched path removes.
+    """
+
+    logical_writes: int = 0
+    flushes: int = 0
+    committed_keys: int = 0
+    coalesced_writes: int = field(default=0)  # logical writes absorbed by LWW
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "logical_writes": self.logical_writes,
+            "flushes": self.flushes,
+            "committed_keys": self.committed_keys,
+            "coalesced_writes": self.coalesced_writes,
+        }
 
 
 class Datastore:
     """The system-wide etcd-like store (KV + watches + leases + txns)."""
 
-    def __init__(self, sim: Simulator, *, watch_delay: float = 0.0) -> None:
+    def __init__(
+        self, sim: Simulator, *, watch_delay: float = 0.0, batched: bool = False
+    ) -> None:
         self.sim = sim
         self.kv = KVStore()
         self.watches = WatchHub(self.kv, sim=sim, delay=watch_delay)
         self.leases = LeaseManager(sim, self.kv)
+        self.batched = batched
+        self.pending = WriteBatch(self.kv)
+        self.stats = WriteStats()
+        if batched:
+            # the action boundary: whatever writes a simulator event handler
+            # issued commit as one transaction once the handler returns
+            sim.subscribe_post_event(self.flush)
 
     def client(self, namespace: str = "") -> "DatastoreClient":
         """A client view under ``namespace`` (empty = root)."""
@@ -50,9 +110,35 @@ class Datastore:
         """Start an atomic transaction on the root keyspace."""
         return Txn(self.kv)
 
+    def flush(self) -> int:
+        """Commit the pending write batch; returns keys committed.
+
+        No-op when nothing is pending (or batching is off and clients wrote
+        through).  Watcher callbacks may issue new writes during delivery;
+        those are flushed too (bounded), so the pending set is empty when
+        this returns under any sane watcher graph.
+        """
+        committed = 0
+        for _ in range(_MAX_FLUSH_CASCADE):
+            if not self.pending:
+                break
+            self.stats.coalesced_writes += self.pending.overwritten
+            self.pending.overwritten = 0
+            commit = self.pending.flush()
+            if commit.revision is not None:
+                self.stats.flushes += 1
+                self.stats.committed_keys += len(commit.events)
+                committed += len(commit.events)
+        return committed
+
 
 class DatastoreClient:
-    """A view of the Datastore under a key prefix (etcd namespacing)."""
+    """A view of the Datastore under a key prefix (etcd namespacing).
+
+    In batched mode writes accumulate in the shared
+    :class:`~repro.datastore.batch.WriteBatch` and reads overlay it
+    (read-your-writes); :meth:`flush` commits at an action boundary.
+    """
 
     def __init__(self, store: Datastore, namespace: str = "") -> None:
         if namespace and not namespace.endswith("/"):
@@ -64,40 +150,120 @@ class DatastoreClient:
     def _k(self, key: str) -> str:
         return self.namespace + key
 
-    def put(self, key: str, value: Any, *, lease: Lease | None = None) -> KeyValue:
-        """Write a namespaced key (optionally bound to a lease)."""
+    def put(self, key: str, value: Any, *, lease: Lease | None = None) -> KeyValue | None:
+        """Write a namespaced key (optionally bound to a lease).
+
+        Batched mode defers the write to the next flush and returns None
+        (no :class:`KeyValue` exists until the transaction commits).
+        """
+        self._store.stats.logical_writes += 1
+        if self._store.batched:
+            self._store.pending.put(self._k(key), value, lease=lease)
+            return None
         kv = self._store.kv.put(self._k(key), value)
         if lease is not None:
             lease.attach(self._k(key))
         return kv
 
+    def put_lazy(
+        self, key: str, thunk: Callable[[], Any], *, lease: Lease | None = None
+    ) -> None:
+        """Mark a namespaced key dirty; ``thunk()`` supplies the value at
+        flush time (:data:`~repro.datastore.batch.DELETE` → delete it).
+
+        This is the dirty-key write path: between flushes any number of
+        marks serialize the value once.  Unbatched it degenerates to an
+        immediate ``put`` (or ``delete``) of ``thunk()``'s result.
+        """
+        self._store.stats.logical_writes += 1
+        if self._store.batched:
+            self._store.pending.put_lazy(self._k(key), thunk, lease=lease)
+            return
+        value = thunk()
+        if value is DELETE:
+            self._store.kv.delete(self._k(key))
+            return
+        self._store.kv.put(self._k(key), value)
+        if lease is not None:
+            lease.attach(self._k(key))
+
     def get(self, key: str, default: Any = None) -> Any:
-        """Latest value of a namespaced key, or ``default``."""
-        return self._store.kv.get_value(self._k(key), default)
+        """Latest value of a namespaced key, or ``default``.
+
+        Batched mode overlays the pending batch (read-your-writes).
+        """
+        full = self._k(key)
+        if self._store.batched:
+            pending = self._store.pending.peek(full)
+            if pending is not None:
+                kind, value = pending
+                return default if kind == "delete" else value
+        return self._store.kv.get_value(full, default)
 
     def get_kv(self, key: str) -> KeyValue | None:
-        """Full KeyValue (with revisions) of a namespaced key."""
+        """Full KeyValue (with revisions) of a namespaced key.
+
+        Always reads *committed* state: a pending batched write has no
+        revision metadata until its transaction commits.
+        """
         return self._store.kv.get(self._k(key))
 
     def delete(self, key: str) -> bool:
-        """Delete a namespaced key; True if it existed."""
-        return self._store.kv.delete(self._k(key))
+        """Delete a namespaced key; True if it (visibly) existed."""
+        self._store.stats.logical_writes += 1
+        full = self._k(key)
+        if self._store.batched:
+            pending = self._store.pending.peek(full)
+            existed = (
+                pending[0] == "put" if pending is not None else full in self._store.kv
+            )
+            self._store.pending.delete(full)
+            return existed
+        return self._store.kv.delete(full)
 
     def range(self, prefix: str) -> dict[str, Any]:
-        """Live key→value pairs under ``prefix`` (namespace stripped)."""
+        """Live key→value pairs under ``prefix`` (namespace stripped).
+
+        Batched mode merges the pending batch over the committed range.
+        """
         full = self._k(prefix)
         n = len(self.namespace)
-        return {kv.key[n:]: kv.value for kv in self._store.kv.range(full)}
+        out = {kv.key[n:]: kv.value for kv in self._store.kv.range(full)}
+        if self._store.batched:
+            for key, kind, value in self._store.pending.pending_items():
+                if not key.startswith(full):
+                    continue
+                if kind == "delete":
+                    out.pop(key[n:], None)
+                else:
+                    out[key[n:]] = value
+        return out
 
     def watch(
-        self, key: str, fn: Callable[[WatchEvent], None], *, prefix: bool = False
+        self,
+        key: str,
+        fn: Callable[..., None],
+        *,
+        prefix: bool = False,
+        coalesced: bool = False,
     ) -> Watch:
-        """Watch a namespaced key (or prefix) for changes."""
-        return self._store.watches.watch(self._k(key), fn, prefix=prefix)
+        """Watch a namespaced key (or prefix) for changes.
+
+        ``coalesced=True`` delivers one
+        :class:`~repro.datastore.watch.WatchBatch` per committed
+        transaction instead of individual events.
+        """
+        return self._store.watches.watch(
+            self._k(key), fn, prefix=prefix, coalesced=coalesced
+        )
 
     def lease(self, ttl: float) -> Lease:
         """Grant a TTL lease from the shared lease manager."""
         return self._store.leases.grant(ttl)
+
+    def flush(self) -> int:
+        """Commit the Datastore's pending write batch (action boundary)."""
+        return self._store.flush()
 
     def txn(self) -> Txn:
         if self.namespace:

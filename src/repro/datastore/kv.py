@@ -10,6 +10,10 @@ those interactions plus the tests' linearizability checks:
 
 * a single, monotonically increasing **store revision** bumped by every
   mutation (put / delete / lease expiry),
+* **atomic multi-key commits** (:meth:`KVStore.apply_batch`): a batch of
+  puts/deletes applies all-or-nothing under *one* revision bump with
+  last-write-wins coalescing per key — exactly how an etcd transaction
+  mutates the store — and fans out to watchers as one coalesced batch,
 * per-key ``create_revision`` / ``mod_revision`` / ``version`` metadata,
 * historical reads (``get(key, revision=...)``) backed by per-key history,
 * range / prefix reads, and
@@ -25,9 +29,9 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterator, Sequence
 
-__all__ = ["KeyValue", "KVStore", "CompactedError"]
+__all__ = ["KeyValue", "KVStore", "CompactedError", "BatchCommit"]
 
 _TOMBSTONE = object()
 
@@ -47,6 +51,24 @@ class KeyValue:
     version: int  # number of writes since creation; 1 for a fresh key
 
 
+@dataclass(frozen=True)
+class BatchCommit:
+    """Result of one atomic multi-key commit (:meth:`KVStore.apply_batch`).
+
+    ``revision`` is None when the batch had no effect (empty, or only
+    deletes of missing keys) — exactly like a failed single-key delete, no
+    revision is consumed.  ``events`` lists the coalesced mutations in
+    first-touch key order (``KeyValue`` for puts, None for deletes), all
+    sharing ``revision``.  ``existed`` records, per coalesced key, whether
+    it was live *before* the commit (what a single-key ``delete`` would
+    have returned).
+    """
+
+    revision: int | None
+    events: tuple[tuple[str, KeyValue | None], ...]
+    existed: dict[str, bool]
+
+
 class KVStore:
     """In-memory MVCC key-value store with etcd semantics."""
 
@@ -57,10 +79,19 @@ class KVStore:
         self._live: dict[str, KeyValue] = {}
         # history: key -> ([mod_revisions], [KeyValue-or-tombstone])
         self._history: dict[str, tuple[list[int], list[Any]]] = {}
-        # global event log for watch replay: (revision, key, KeyValue|None)
+        # global event log for watch replay: (revision, key, KeyValue|None),
+        # plus a parallel revision column so events_since/compact can bisect
+        # without rebuilding [e[0] for e in events] per call
         self._events: list[tuple[int, str, KeyValue | None]] = []
+        self._event_revs: list[int] = []
+        # sorted live-key cache for range/keys/items; invalidated whenever
+        # the *key set* changes (value-only updates keep it valid)
+        self._sorted_keys: list[str] | None = []
         # mutation hooks (used by the watch subsystem)
         self._on_mutation: list[Callable[[str, KeyValue | None, int], None]] = []
+        # batch hooks: fn(revision, [(key, KeyValue|None), ...]) — one call
+        # per commit, single puts/deletes included as singleton batches
+        self._on_batch: list[Callable[[int, list[tuple[str, KeyValue | None]]], None]] = []
 
     # ------------------------------------------------------------------
     # Introspection
@@ -82,18 +113,25 @@ class KVStore:
         return key in self._live
 
     def keys(self) -> list[str]:
-        """All live keys, sorted."""
-        return sorted(self._live)
+        """All live keys, sorted (cached until the key set changes)."""
+        return list(self._sorted())
+
+    def _sorted(self) -> list[str]:
+        if self._sorted_keys is None:
+            self._sorted_keys = sorted(self._live)
+        return self._sorted_keys
 
     # ------------------------------------------------------------------
     # Mutations
     # ------------------------------------------------------------------
-    def put(self, key: str, value: Any) -> KeyValue:
-        """Write ``key`` and return its new :class:`KeyValue`."""
-        if not isinstance(key, str) or not key:
-            raise ValueError("key must be a non-empty string")
-        self._revision += 1
-        prev = self._live.get(key)
+    def _apply_put(self, key: str, value: Any, *, fresh: bool = False) -> KeyValue:
+        """Write ``key`` at the current (already bumped) revision.
+
+        ``fresh`` recreates the key (version 1, new create_revision) — used
+        when a batch deleted the key before re-putting it, so coalescing
+        preserves the sequential delete-then-put metadata.
+        """
+        prev = None if fresh else self._live.get(key)
         kv = KeyValue(
             key=key,
             value=value,
@@ -101,10 +139,30 @@ class KVStore:
             mod_revision=self._revision,
             version=prev.version + 1 if prev else 1,
         )
+        if prev is None:
+            self._sorted_keys = None
         self._live[key] = kv
         self._record(key, kv)
         self._events.append((self._revision, key, kv))
+        self._event_revs.append(self._revision)
+        return kv
+
+    def _apply_delete(self, key: str) -> None:
+        """Remove live ``key`` at the current (already bumped) revision."""
+        del self._live[key]
+        self._sorted_keys = None
+        self._record(key, _TOMBSTONE)
+        self._events.append((self._revision, key, None))
+        self._event_revs.append(self._revision)
+
+    def put(self, key: str, value: Any) -> KeyValue:
+        """Write ``key`` and return its new :class:`KeyValue`."""
+        if not isinstance(key, str) or not key:
+            raise ValueError("key must be a non-empty string")
+        self._revision += 1
+        kv = self._apply_put(key, value)
         self._notify(key, kv, self._revision)
+        self._notify_batch(self._revision, [(key, kv)])
         return kv
 
     def delete(self, key: str) -> bool:
@@ -112,11 +170,56 @@ class KVStore:
         if key not in self._live:
             return False
         self._revision += 1
-        del self._live[key]
-        self._record(key, _TOMBSTONE)
-        self._events.append((self._revision, key, None))
+        self._apply_delete(key)
         self._notify(key, None, self._revision)
+        self._notify_batch(self._revision, [(key, None)])
         return True
+
+    def apply_batch(self, ops: Sequence[tuple]) -> BatchCommit:
+        """Atomically apply a batch of mutations under **one** revision.
+
+        ``ops`` is a sequence of ``("put", key, value)`` / ``("delete",
+        key)`` tuples.  Ops are coalesced last-write-wins per key (etcd
+        txn semantics: one transaction → one revision → at most one event
+        per key), applied all-or-nothing, and announced to watchers as a
+        single coalesced batch.  A put that follows a delete of the same
+        key *within the batch* recreates the key (version 1, fresh
+        create_revision), matching what the ops would have produced applied
+        sequentially.  Deletes of missing keys are no-ops; a batch with no
+        effective mutation consumes no revision.
+        """
+        # key -> ("put", value, fresh) | ("delete",)
+        coalesced: dict[str, tuple] = {}
+        for op in ops:
+            kind, key = op[0], op[1]
+            if kind == "put":
+                if not isinstance(key, str) or not key:
+                    raise ValueError("key must be a non-empty string")
+                prior = coalesced.get(key)
+                fresh = prior is not None and (prior[0] == "delete" or prior[2])
+                coalesced[key] = ("put", op[2], fresh)
+            elif kind == "delete":
+                coalesced[key] = ("delete",)
+            else:
+                raise ValueError(f"unknown batch op kind {kind!r}")
+        existed = {key: key in self._live for key in coalesced}
+        effective = any(
+            entry[0] == "put" or existed[key] for key, entry in coalesced.items()
+        )
+        if not effective:
+            return BatchCommit(revision=None, events=(), existed=existed)
+        self._revision += 1
+        events: list[tuple[str, KeyValue | None]] = []
+        for key, entry in coalesced.items():
+            if entry[0] == "put":
+                events.append((key, self._apply_put(key, entry[1], fresh=entry[2])))
+            elif existed[key]:
+                self._apply_delete(key)
+                events.append((key, None))
+        for key, kv in events:
+            self._notify(key, kv, self._revision)
+        self._notify_batch(self._revision, events)
+        return BatchCommit(revision=self._revision, events=tuple(events), existed=existed)
 
     def delete_prefix(self, prefix: str) -> int:
         """Delete every key starting with ``prefix``; returns count deleted."""
@@ -157,11 +260,18 @@ class KVStore:
         """Live pairs whose key starts with ``prefix``, sorted by key.
 
         ``limit`` bounds the result like etcd's range limit (None = all).
+        Served from the sorted-key cache: O(log n + matches) instead of
+        re-sorting every live key per call.
         """
         if limit is not None and limit < 0:
             raise ValueError("limit cannot be negative")
-        out = [self._live[k] for k in sorted(self._live) if k.startswith(prefix)]
-        return out if limit is None else out[:limit]
+        keys = self._sorted()
+        out: list[KeyValue] = []
+        for i in range(bisect.bisect_left(keys, prefix), len(keys)):
+            if not keys[i].startswith(prefix) or (limit is not None and len(out) >= limit):
+                break
+            out.append(self._live[keys[i]])
+        return out
 
     def range_interval(self, start: str, end: str, *, limit: int | None = None) -> list[KeyValue]:
         """Live pairs with ``start <= key < end`` (etcd's half-open range)."""
@@ -169,14 +279,20 @@ class KVStore:
             return []
         if limit is not None and limit < 0:
             raise ValueError("limit cannot be negative")
-        out = [self._live[k] for k in sorted(self._live) if start <= k < end]
-        return out if limit is None else out[:limit]
+        keys = self._sorted()
+        lo = bisect.bisect_left(keys, start)
+        hi = bisect.bisect_left(keys, end, lo)
+        if limit is not None:
+            hi = min(hi, lo + limit)
+        return [self._live[k] for k in keys[lo:hi]]
 
     def events_since(self, revision: int) -> list[tuple[int, str, KeyValue | None]]:
         """All mutations with revision strictly greater than ``revision``.
 
-        Powers watch replay ("watch from revision").  Raises
-        :class:`CompactedError` when the requested start has been compacted.
+        Powers watch replay ("watch from revision").  A batch commit
+        contributes one entry per coalesced key, all sharing the batch's
+        revision.  Raises :class:`CompactedError` when the requested start
+        has been compacted.
         """
         if revision < self._compacted:
             # events at or below the compaction point are gone, so a replay
@@ -184,12 +300,12 @@ class KVStore:
             raise CompactedError(
                 f"cannot replay from revision {revision}: compacted at {self._compacted}"
             )
-        idx = bisect.bisect_right([e[0] for e in self._events], revision)
+        idx = bisect.bisect_right(self._event_revs, revision)
         return self._events[idx:]
 
     def items(self) -> Iterator[KeyValue]:
         """Iterate live pairs in key order."""
-        for k in sorted(self._live):
+        for k in self._sorted():
             yield self._live[k]
 
     # ------------------------------------------------------------------
@@ -207,8 +323,9 @@ class KVStore:
             return
         self._compacted = revision
         # drop replayable events at or below the compaction revision
-        idx = bisect.bisect_right([e[0] for e in self._events], revision)
+        idx = bisect.bisect_right(self._event_revs, revision)
         del self._events[:idx]
+        del self._event_revs[:idx]
         empty = []
         for key, (revs, vals) in self._history.items():
             # Keep the newest entry at-or-below `revision` so historical reads
@@ -234,12 +351,34 @@ class KVStore:
         for hook in list(self._on_mutation):
             hook(key, kv, revision)
 
+    def _notify_batch(self, revision: int, events: list[tuple[str, KeyValue | None]]) -> None:
+        for hook in list(self._on_batch):
+            hook(revision, events)
+
     def subscribe(self, hook: Callable[[str, KeyValue | None, int], None]) -> Callable[[], None]:
-        """Register a mutation hook; returns an unsubscribe callable."""
+        """Register a per-key mutation hook; returns an unsubscribe callable."""
         self._on_mutation.append(hook)
 
         def unsubscribe() -> None:
             if hook in self._on_mutation:
                 self._on_mutation.remove(hook)
+
+        return unsubscribe
+
+    def subscribe_batch(
+        self, hook: Callable[[int, list[tuple[str, KeyValue | None]]], None]
+    ) -> Callable[[], None]:
+        """Register a commit hook: ``hook(revision, [(key, kv|None), ...])``.
+
+        Fired exactly once per revision — single puts/deletes arrive as
+        singleton batches, :meth:`apply_batch` commits as one coalesced
+        batch.  This is what the watch subsystem consumes to deliver one
+        notification per transaction instead of one per touched key.
+        """
+        self._on_batch.append(hook)
+
+        def unsubscribe() -> None:
+            if hook in self._on_batch:
+                self._on_batch.remove(hook)
 
         return unsubscribe

@@ -3,6 +3,13 @@
 Used wherever two components race on the same key — e.g. the Cache Manager
 claiming memory headroom on a GPU while a GPU Manager concurrently reports
 an eviction — to get compare-and-swap semantics out of the Datastore.
+
+A committed transaction's mutations apply through
+:meth:`~repro.datastore.kv.KVStore.apply_batch`: **one revision bump for
+the whole branch**, last-write-wins per key, one coalesced watch batch —
+matching etcd, where a txn response carries a single header revision no
+matter how many ops the winning branch ran.  ``get`` ops observe the
+transaction's final (post-commit) state.
 """
 
 from __future__ import annotations
@@ -125,23 +132,36 @@ class Txn:
     def commit(self) -> TxnResult:
         """Atomically evaluate guards and run the chosen branch.
 
-        The store is single-threaded, so "atomic" here means: guards are
-        evaluated against a consistent snapshot and no other mutation can
-        interleave with the branch's ops.
+        The branch's mutations are applied via ``KVStore.apply_batch``:
+        all-or-nothing under a single revision bump, coalesced last-write-
+        wins per key, and announced to watchers as one batch.  Put
+        responses carry the key's committed :class:`KeyValue` — the final
+        one when several ops touched the key, or None when a later op in
+        the same branch deleted it (etcd forbids duplicate keys in a txn
+        outright; we coalesce instead).  Delete responses report whether
+        the key existed before the transaction, and get responses read the
+        post-commit state.
         """
         if self._committed:
             raise RuntimeError("transaction already committed")
         self._committed = True
         succeeded = all(c.evaluate(self._store.get(c.key)) for c in self._compares)
         branch = self._then if succeeded else self._else
+        mutations: list[tuple] = []
+        for op in branch:
+            if op.kind == "put":
+                mutations.append(("put", op.key, op.value))
+            elif op.kind == "delete":
+                mutations.append(("delete", op.key))
+            elif op.kind != "get":
+                raise ValueError(f"unknown op kind {op.kind!r}")
+        commit = self._store.apply_batch(mutations) if mutations else None
         responses: list[Any] = []
         for op in branch:
             if op.kind == "put":
-                responses.append(self._store.put(op.key, op.value))
-            elif op.kind == "delete":
-                responses.append(self._store.delete(op.key))
-            elif op.kind == "get":
                 responses.append(self._store.get(op.key))
+            elif op.kind == "delete":
+                responses.append(commit.existed[op.key] if commit else False)
             else:
-                raise ValueError(f"unknown op kind {op.kind!r}")
+                responses.append(self._store.get(op.key))
         return TxnResult(succeeded=succeeded, responses=tuple(responses))

@@ -5,18 +5,28 @@ watches rather than polling, mirroring how etcd clients consume the paper's
 Datastore.  Delivery is synchronous by default (the store is in-process);
 an optional :class:`~repro.sim.Simulator` adds a configurable notification
 delay so experiments can model stale reads.
+
+Delivery is **per commit**, not per key: the hub subscribes to the store's
+batch hook, so an atomic multi-key transaction (one revision) produces one
+delivery per matching watch — a :class:`WatchBatch` for coalesced watchers,
+or the batch's events in order for plain ones.  Within a batch the store
+has already coalesced writes last-write-wins per key, so a watcher never
+sees intermediate values a transaction overwrote (etcd semantics).  With a
+delivery delay this is also the scheduling win: one simulator event per
+watch per commit instead of one per touched key.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from itertools import groupby
 from typing import Any, Callable
 
 from ..sim import Simulator
 from .kv import KeyValue, KVStore
 
-__all__ = ["EventType", "WatchEvent", "Watch", "WatchHub"]
+__all__ = ["EventType", "WatchEvent", "WatchBatch", "Watch", "WatchHub"]
 
 
 class EventType(enum.Enum):
@@ -36,16 +46,46 @@ class WatchEvent:
     revision: int
 
 
+@dataclass(frozen=True)
+class WatchBatch:
+    """All of one commit's changes matching a coalesced watch.
+
+    Mirrors an etcd watch response: every event shares ``revision`` (the
+    committing transaction's revision) and keys are unique within the batch
+    (the store coalesces last-write-wins before notifying).
+    """
+
+    revision: int
+    events: tuple[WatchEvent, ...]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+
 class Watch:
     """A single registration; cancel() stops delivery."""
 
-    def __init__(self, hub: "WatchHub", key: str, prefix: bool, fn: Callable[[WatchEvent], None]):
+    def __init__(
+        self,
+        hub: "WatchHub",
+        key: str,
+        prefix: bool,
+        fn: Callable[..., None],
+        coalesced: bool = False,
+    ):
         self._hub = hub
         self.key = key
         self.prefix = prefix
         self.fn = fn
+        #: True → ``fn`` receives one :class:`WatchBatch` per commit;
+        #: False → ``fn`` receives individual :class:`WatchEvent` objects
+        self.coalesced = coalesced
         self.cancelled = False
-        self.delivered = 0
+        self.delivered = 0  # individual events delivered
+        self.batches_delivered = 0  # commits delivered
 
     def matches(self, key: str) -> bool:
         """Does this registration cover ``key``?"""
@@ -58,7 +98,7 @@ class Watch:
 
 
 class WatchHub:
-    """Dispatches store mutations to registered watches."""
+    """Dispatches store commits to registered watches."""
 
     def __init__(self, store: KVStore, sim: Simulator | None = None, delay: float = 0.0):
         if delay < 0:
@@ -69,29 +109,34 @@ class WatchHub:
         self._sim = sim
         self._delay = delay
         self._watches: list[Watch] = []
-        self._unsubscribe = store.subscribe(self._on_mutation)
+        self._unsubscribe = store.subscribe_batch(self._on_commit)
 
     def watch(
         self,
         key: str,
-        fn: Callable[[WatchEvent], None],
+        fn: Callable[..., None],
         *,
         prefix: bool = False,
         start_revision: int | None = None,
+        coalesced: bool = False,
     ) -> Watch:
         """Register a watch; with ``start_revision`` the watcher first
         receives every historical mutation after that revision (etcd's
-        "watch from revision" catch-up), then live events."""
-        w = Watch(self, key, prefix, fn)
+        "watch from revision" catch-up), then live events.  ``coalesced``
+        watchers receive one :class:`WatchBatch` per commit — catch-up
+        replay is grouped per historical revision the same way."""
+        w = Watch(self, key, prefix, fn, coalesced)
         if start_revision is not None:
-            for revision, ev_key, kv in self._store.events_since(start_revision):
-                if not w.matches(ev_key):
-                    continue
-                if kv is None:
-                    ev = WatchEvent(EventType.DELETE, ev_key, None, revision)
-                else:
-                    ev = WatchEvent(EventType.PUT, ev_key, kv.value, revision)
-                self._deliver(w, ev)
+            for revision, group in groupby(
+                self._store.events_since(start_revision), key=lambda e: e[0]
+            ):
+                events = tuple(
+                    self._event(revision, ev_key, kv)
+                    for _, ev_key, kv in group
+                    if w.matches(ev_key)
+                )
+                if events:
+                    self._deliver(w, revision, events)
         self._watches.append(w)
         return w
 
@@ -106,26 +151,43 @@ class WatchHub:
         return len(self._watches)
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _event(revision: int, key: str, kv: KeyValue | None) -> WatchEvent:
+        if kv is None:
+            return WatchEvent(EventType.DELETE, key, None, revision)
+        return WatchEvent(EventType.PUT, key, kv.value, revision)
+
     def _drop(self, w: Watch) -> None:
         if w in self._watches:
             self._watches.remove(w)
 
-    def _on_mutation(self, key: str, kv: KeyValue | None, revision: int) -> None:
-        if kv is None:
-            ev = WatchEvent(EventType.DELETE, key, None, revision)
-        else:
-            ev = WatchEvent(EventType.PUT, key, kv.value, revision)
+    def _on_commit(self, revision: int, items: list[tuple[str, KeyValue | None]]) -> None:
+        events = [self._event(revision, key, kv) for key, kv in items]
         for w in list(self._watches):
-            if w.cancelled or not w.matches(key):
+            if w.cancelled:
+                continue
+            matched = tuple(ev for ev in events if w.matches(ev.key))
+            if not matched:
                 continue
             if self._delay > 0:
                 assert self._sim is not None
-                self._sim.schedule(self._delay, self._deliver, w, ev)
+                # one delivery event per watch per commit — the coalescing
+                # win: a batch of N keys no longer schedules N callbacks
+                self._sim.schedule(self._delay, self._deliver, w, revision, matched)
             else:
-                self._deliver(w, ev)
+                self._deliver(w, revision, matched)
 
     @staticmethod
-    def _deliver(w: Watch, ev: WatchEvent) -> None:
-        if not w.cancelled:
+    def _deliver(w: Watch, revision: int, events: tuple[WatchEvent, ...]) -> None:
+        if w.cancelled:
+            return
+        w.batches_delivered += 1
+        if w.coalesced:
+            w.delivered += len(events)
+            w.fn(WatchBatch(revision, events))
+            return
+        for ev in events:
+            if w.cancelled:
+                return
             w.delivered += 1
             w.fn(ev)

@@ -4,20 +4,105 @@
 ``benchmarks/test_scheduler_overhead.py`` suite under pytest-benchmark and
 distills the results into a small committed JSON file: the median cost of
 one scheduling pass at queue depths 100 / 2 000 / 20 000 plus the index
-micro-benches.  Each PR re-runs it, so the repository carries a perf
-trajectory for the scheduling hot path instead of anecdotes.
+micro-benches.  It also replays a seeded 2k-request workload once per
+Datastore write mode and records the control plane's **write
+amplification** — datastore writes and revisions per scheduling action,
+revisions per 1k requests, and the batched path's revision-reduction
+factor — so the transactional write path's win is tracked alongside pass
+cost.  Each PR re-runs it, so the repository carries a perf trajectory for
+the scheduling hot path instead of anecdotes.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import re
 import subprocess
 import sys
 import tempfile
 from pathlib import Path
 
-__all__ = ["run_bench", "DEFAULT_OUTPUT"]
+__all__ = ["run_bench", "seeded_workload", "DEFAULT_OUTPUT"]
+
+#: frozen seed/size for the write-amplification replay: counts are exact
+#: (deterministic), not timings, so one run suffices
+_WRITE_AMP_SEED = 20230731
+_WRITE_AMP_REQUESTS = 2000
+
+
+def seeded_workload(
+    seed: int, n_requests: int, n_functions: int = 30
+) -> list[tuple[int, float]]:
+    """Seeded arrival trace: (function index, arrival time) tuples.
+
+    Bursty arrivals with Pareto-skewed popularity, deep enough queues to
+    exercise hits, misses, evictions, local queues, and the O3 starvation
+    guard.  Shared by the write-amplification bench and the write-path
+    parity tests so both measure the *same* workload.
+    """
+    rng = random.Random(seed)
+    spec = []
+    t = 0.0
+    for _ in range(n_requests):
+        t += rng.expovariate(2.0) if rng.random() < 0.05 else rng.expovariate(1 / 0.035)
+        spec.append((min(int(rng.paretovariate(0.9)) - 1, n_functions - 1), t))
+    return spec
+
+
+def _write_amp_mode(batched: bool) -> dict:
+    """Replay the seeded workload and count datastore writes/revisions."""
+    from ..cluster import ClusterSpec
+    from ..core.request import InferenceRequest
+    from ..models import ModelInstance, get_profile, model_names
+    from ..runtime import FaaSCluster, SystemConfig
+
+    names = model_names()
+    spec = seeded_workload(_WRITE_AMP_SEED, _WRITE_AMP_REQUESTS)
+    system = FaaSCluster(
+        SystemConfig(
+            cluster=ClusterSpec.homogeneous(2, 4),
+            policy="lalbo3",
+            datastore_batching=batched,
+        )
+    )
+    instances = [
+        ModelInstance(f"m{i}", get_profile(names[i % len(names)])) for i in range(30)
+    ]
+    for fn, at in spec:
+        system.submit_at(InferenceRequest(f"fn{fn}", instances[fn], arrival_time=at))
+    system.run()
+
+    ds = system.datastore
+    actions = len(system.scheduler.decisions)
+    return {
+        "requests": _WRITE_AMP_REQUESTS,
+        "scheduling_actions": actions,
+        "logical_writes": ds.stats.logical_writes,
+        "revisions": ds.kv.revision,
+        "flushes": ds.stats.flushes,
+        "committed_keys": ds.stats.committed_keys,
+        "coalesced_writes": ds.stats.coalesced_writes,
+        "writes_per_scheduling_action": round(ds.stats.logical_writes / actions, 3),
+        "revisions_per_scheduling_action": round(ds.kv.revision / actions, 3),
+        "revisions_per_1k_requests": round(
+            ds.kv.revision / _WRITE_AMP_REQUESTS * 1000, 1
+        ),
+    }
+
+
+def measure_write_amplification() -> dict:
+    """Batched vs. literal write path on the same seeded workload."""
+    unbatched = _write_amp_mode(batched=False)
+    batched = _write_amp_mode(batched=True)
+    return {
+        "workload_seed": _WRITE_AMP_SEED,
+        "unbatched": unbatched,
+        "batched": batched,
+        "revision_reduction_factor": round(
+            unbatched["revisions"] / max(batched["revisions"], 1), 2
+        ),
+    }
 
 DEFAULT_OUTPUT = "BENCH_scheduler.json"
 _SUITE = Path("benchmarks") / "test_scheduler_overhead.py"
@@ -90,6 +175,7 @@ def run_bench(output: str | None = None, *, verbose: bool = True) -> dict:
         "pass_cost_by_depth_s": dict(
             sorted(pass_cost_by_depth.items(), key=lambda kv: int(kv[0]))
         ),
+        "write_amplification": measure_write_amplification(),
         "benchmarks": dict(sorted(benchmarks.items())),
     }
     out_path = root / (output or DEFAULT_OUTPUT)
@@ -98,4 +184,11 @@ def run_bench(output: str | None = None, *, verbose: bool = True) -> dict:
         print(f"wrote {out_path}")
         for depth, median in report["pass_cost_by_depth_s"].items():
             print(f"  pass cost @ depth {depth:>6}: {median * 1e6:8.1f} us")
+        amp = report["write_amplification"]
+        print(
+            "  datastore revisions/action: "
+            f"{amp['unbatched']['revisions_per_scheduling_action']} unbatched -> "
+            f"{amp['batched']['revisions_per_scheduling_action']} batched "
+            f"({amp['revision_reduction_factor']}x fewer)"
+        )
     return report

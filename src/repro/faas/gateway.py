@@ -79,6 +79,7 @@ class Gateway:
         fn = RegisteredFunction(spec, pool, watchdog, model_handle)
         self._functions[spec.name] = fn
         self._put_meta(spec)
+        self._flush_writes()  # registration is a complete control-plane action
         return fn
 
     def get(self, name: str) -> RegisteredFunction:
@@ -110,6 +111,7 @@ class Gateway:
             c.stop()
         del self._functions[name]
         self.datastore.delete(f"fn/meta/{name}")
+        self._flush_writes()
 
     # ------------------------------------------------------------------
     # Invocation (the RESTful entry point)
@@ -137,6 +139,9 @@ class Gateway:
             fn.pool.build(on_done=lambda: self._route(fn, invocation))
         else:
             self._route(fn, invocation)
+        # one invocation = one action: the counter bump and whatever routing
+        # wrote commit together
+        self._flush_writes()
         return invocation
 
     def _route(self, fn: RegisteredFunction, invocation: Invocation) -> None:
@@ -145,6 +150,16 @@ class Gateway:
         fn.pool.acquire(lambda container: fn.watchdog.handle(invocation, container))
 
     # ------------------------------------------------------------------
+    def _flush_writes(self) -> None:
+        """Commit this CRUD/invoke action's accumulated Datastore writes.
+
+        Nested inside a simulator event the flush defers to the post-event
+        hook, so the enclosing handler still commits as one transaction;
+        called from user context it is the action boundary itself.
+        """
+        if not self.sim.is_running:
+            self.datastore.flush()
+
     def _put_meta(self, spec: FunctionSpec) -> None:
         self.datastore.put(
             f"fn/meta/{spec.name}",

@@ -105,6 +105,9 @@ class NamespaceManager:
         self.gateway.system.datastore.client().put(
             f"ns/meta/{name}", {"tenant": tenant}
         )
+        # namespace creation is its own control-plane action; the Gateway's
+        # helper applies the shared flush-at-action-boundary rule
+        self.gateway._flush_writes()
         return NamespaceView(self, ns)
 
     def view(self, name: str, *, tenant: str) -> NamespaceView:
@@ -126,3 +129,4 @@ class NamespaceManager:
             view.delete(fn)
         del self._namespaces[name]
         self.gateway.system.datastore.client().delete(f"ns/meta/{name}")
+        self.gateway._flush_writes()

@@ -168,6 +168,8 @@ class Watchdog:
         self._record(invocation, container)
 
     def _record(self, invocation: Invocation, container: Container) -> None:
+        # runs inside a simulator event: against a batched Datastore this
+        # put rides the invocation-completion action's single transaction
         if self.datastore is None:
             return
         self.datastore.put(

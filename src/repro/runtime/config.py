@@ -28,6 +28,10 @@ class SystemConfig:
     replacement: str = "lru"
     #: Datastore watch-notification delay (0 = synchronous)
     watch_delay_s: float = 0.0
+    #: batch the control plane's Datastore writes: each scheduling action's
+    #: puts commit as one transaction → one revision → one coalesced watch
+    #: batch (False restores the literal one-revision-per-put path)
+    datastore_batching: bool = True
     #: per-tenant quotas (empty = no isolation limits)
     quotas: dict[str, TenantQuota] = field(default_factory=dict)
     #: master seed for all stochastic elements

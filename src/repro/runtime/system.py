@@ -37,7 +37,11 @@ class FaaSCluster:
         self.config = config or SystemConfig()
         self.sim = Simulator()
         self.cluster: Cluster = build_cluster(self.sim, self.config.cluster)
-        self.datastore = Datastore(self.sim, watch_delay=self.config.watch_delay_s)
+        self.datastore = Datastore(
+            self.sim,
+            watch_delay=self.config.watch_delay_s,
+            batched=self.config.datastore_batching,
+        )
 
         # model profiles for every GPU type present (§VI heterogeneity)
         type_specs: list[GPUTypeSpec] = [spec for _, spec in self.config.cluster.nodes]
@@ -55,6 +59,7 @@ class FaaSCluster:
 
         local_queues = LocalQueues()
         self.estimator = FinishTimeEstimator(self.sim, self.registry, local_queues)
+        self.estimator.register_gpus(self.cluster.gpus)
 
         self.tenancy: TenancyController | None = None
         if self.config.quotas:
@@ -92,6 +97,10 @@ class FaaSCluster:
             datastore=self.datastore.client(),
             tenancy=self.tenancy,
         )
+        # commit construction-time writes (initial GPU statuses) so watchers
+        # registered after build observe only post-build changes, exactly as
+        # they would against the unbatched write path
+        self.datastore.flush()
 
     # ------------------------------------------------------------------
     # Wiring callbacks
@@ -156,11 +165,18 @@ class FaaSCluster:
             stranded.insert(0, inflight)
         for request in stranded:
             self.scheduler.resubmit(request)
+        # commit the failure's writes (offline status, withdrawn LRU lists /
+        # locations, resubmits) as one action when called outside the sim;
+        # scheduled failures commit at the post-event boundary instead
+        if not self.sim.is_running:
+            self.datastore.flush()
 
     def recover_gpu(self, gpu_id: str) -> None:
         """Bring a failed GPU back online (empty) and resume scheduling."""
         gpu = self.cluster.gpu(gpu_id)
         self._managers[gpu.node_id].recover(gpu)
+        if not self.sim.is_running:
+            self.datastore.flush()
 
     @property
     def completed(self) -> list[InferenceRequest]:

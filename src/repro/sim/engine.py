@@ -84,6 +84,24 @@ class Simulator:
         self._processed = 0
         self._live = 0  # pending non-cancelled events (O(1) __len__)
         self._trace_hook: Callable[[float, str], Any] | None = None
+        self._post_event_hooks: list[Callable[[], Any]] = []
+
+    def subscribe_post_event(self, hook: Callable[[], Any]) -> Callable[[], None]:
+        """Register a hook that runs after every event callback returns.
+
+        The batched Datastore uses this as its flush boundary: all writes a
+        single event handler issues (one scheduling action) commit as one
+        transaction once the handler finishes.  Returns an unsubscribe
+        callable.  Hooks run in registration order and may schedule new
+        events, but must not call :meth:`run` (the kernel is not re-entrant).
+        """
+        self._post_event_hooks.append(hook)
+
+        def unsubscribe() -> None:
+            if hook in self._post_event_hooks:
+                self._post_event_hooks.remove(hook)
+
+        return unsubscribe
 
     def set_trace(self, hook: Callable[[float, str], Any] | None) -> None:
         """Install a debug hook called ``hook(time, callback_name)`` before
@@ -151,6 +169,37 @@ class Simulator:
         self._drop_cancelled()
         return self._heap[0].time if self._heap else math.inf
 
+    @property
+    def is_running(self) -> bool:
+        """True while :meth:`run` is executing events.
+
+        Components with explicit flush points (Scheduler, Gateway) consult
+        this to tell a user-context call (flush now — nothing else will)
+        from one nested inside an event handler (defer to the post-event
+        hook so the whole handler commits as one action).
+        """
+        return self._running
+
+    def _fire(self, ev: Event) -> None:
+        """Advance the clock to ``ev``, run its callback, run post hooks.
+
+        ``is_running`` holds for the callback's duration even under
+        :meth:`step`, so flush-point deferral behaves identically whether
+        events fire via ``run()`` or ``step()``.
+        """
+        was_running, self._running = self._running, True
+        self._now = ev.time
+        self._processed += 1
+        try:
+            if self._trace_hook is not None:
+                self._trace_hook(ev.time, getattr(ev.fn, "__qualname__", repr(ev.fn)))
+            ev.fn(*ev.args)
+            if self._post_event_hooks:
+                for hook in list(self._post_event_hooks):
+                    hook()
+        finally:
+            self._running = was_running
+
     def step(self) -> bool:
         """Fire the next event.  Returns False when no events remain."""
         self._drop_cancelled()
@@ -159,11 +208,7 @@ class Simulator:
         ev = heapq.heappop(self._heap)
         ev._popped = True
         self._live -= 1
-        self._now = ev.time
-        self._processed += 1
-        if self._trace_hook is not None:
-            self._trace_hook(ev.time, getattr(ev.fn, "__qualname__", repr(ev.fn)))
-        ev.fn(*ev.args)
+        self._fire(ev)
         return True
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
@@ -191,11 +236,7 @@ class Simulator:
                 ev = heapq.heappop(self._heap)
                 ev._popped = True
                 self._live -= 1
-                self._now = ev.time
-                self._processed += 1
-                if self._trace_hook is not None:
-                    self._trace_hook(ev.time, getattr(ev.fn, "__qualname__", repr(ev.fn)))
-                ev.fn(*ev.args)
+                self._fire(ev)
                 fired += 1
                 if max_events is not None and fired > max_events:
                     raise SimError(f"exceeded max_events={max_events}")

@@ -1,0 +1,324 @@
+"""Txn/batch semantics: atomic multi-key commits, last-write-wins
+coalescing, coalesced watch delivery and replay, WriteBatch accumulation,
+and the batched Datastore client's read-your-writes overlay."""
+
+import pytest
+
+from repro.datastore import (
+    DELETE,
+    Datastore,
+    EventType,
+    KVStore,
+    Op,
+    Txn,
+    WatchBatch,
+    WriteBatch,
+)
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestApplyBatch:
+    def test_multi_key_commit_bumps_revision_once(self):
+        s = KVStore()
+        commit = s.apply_batch([("put", "a", 1), ("put", "b", 2), ("put", "c", 3)])
+        assert s.revision == 1
+        assert commit.revision == 1
+        assert {kv.mod_revision for _, kv in commit.events} == {1}
+        assert [s.get_value(k) for k in "abc"] == [1, 2, 3]
+
+    def test_last_write_wins_within_batch(self):
+        s = KVStore()
+        commit = s.apply_batch([("put", "k", "first"), ("put", "k", "last")])
+        assert s.get_value("k") == "last"
+        # one event, one history entry: the intermediate value never existed
+        assert len(commit.events) == 1
+        assert s.get("k", revision=1).value == "last"
+        assert s.get("k").version == 1
+
+    def test_put_then_delete_same_key_coalesces_to_delete(self):
+        s = KVStore()
+        s.put("k", 0)
+        commit = s.apply_batch([("put", "k", 1), ("delete", "k")])
+        assert "k" not in s
+        assert commit.events == (("k", None),)
+
+    def test_delete_then_put_recreates_key(self):
+        """A batch that deletes then re-puts a key must match the
+        sequential outcome: a *recreated* key (version 1, fresh
+        create_revision), not a versioned-over old one."""
+        s = KVStore()
+        s.put("k", "old")  # rev 1, version 1
+        s.put("k", "old2")  # rev 2, version 2
+        commit = s.apply_batch([("delete", "k"), ("put", "k", "new")])
+        kv = s.get("k")
+        assert kv.value == "new"
+        assert kv.version == 1
+        assert kv.create_revision == commit.revision == 3
+        # one coalesced PUT event, the intermediate delete never observable
+        assert commit.events == (("k", kv),)
+
+    def test_mixed_puts_and_deletes_share_one_revision(self):
+        s = KVStore()
+        s.put("old", 1)  # rev 1
+        s.apply_batch([("put", "new", 2), ("delete", "old")])  # rev 2
+        assert s.revision == 2
+        assert s.get("new").mod_revision == 2
+        assert s.get("old") is None
+
+    def test_ineffective_batch_consumes_no_revision(self):
+        s = KVStore()
+        commit = s.apply_batch([("delete", "missing")])
+        assert commit.revision is None
+        assert s.revision == 0
+        assert s.apply_batch([]).revision is None
+
+    def test_existed_reflects_pre_commit_state(self):
+        s = KVStore()
+        s.put("there", 1)
+        commit = s.apply_batch([("delete", "there"), ("put", "fresh", 2)])
+        assert commit.existed == {"there": True, "fresh": False}
+
+    def test_events_since_replays_coalesced_batch(self):
+        s = KVStore()
+        s.put("a", 1)  # rev 1
+        s.apply_batch([("put", "b", 2), ("put", "c", 3)])  # rev 2
+        events = s.events_since(1)
+        assert [(rev, key) for rev, key, _ in events] == [(2, "b"), (2, "c")]
+
+    def test_compaction_drops_whole_batches(self):
+        s = KVStore()
+        s.apply_batch([("put", "a", 1), ("put", "b", 2)])  # rev 1
+        s.apply_batch([("put", "a", 3), ("put", "c", 4)])  # rev 2
+        s.compact(1)
+        assert [(rev, key) for rev, key, _ in s.events_since(1)] == [(2, "a"), (2, "c")]
+
+    def test_unknown_op_kind_rejected(self):
+        with pytest.raises(ValueError):
+            KVStore().apply_batch([("swap", "a", 1)])
+
+
+class TestTxnSingleRevision:
+    def test_multi_op_txn_is_one_revision(self):
+        s = KVStore()
+        res = Txn(s).then(Op.put("x", 1), Op.put("y", 2), Op.delete("nope")).commit()
+        assert res.succeeded
+        assert s.revision == 1
+        assert s.get("x").mod_revision == s.get("y").mod_revision == 1
+        assert res.responses[2] is False  # delete of a missing key
+
+    def test_txn_watchers_see_one_batch(self, sim):
+        ds = Datastore(sim)
+        batches = []
+        ds.watches.watch("", batches.append, prefix=True, coalesced=True)
+        ds.txn().then(Op.put("a", 1), Op.put("b", 2)).commit()
+        assert len(batches) == 1
+        assert [e.key for e in batches[0]] == ["a", "b"]
+        assert batches[0].revision == 1
+
+    def test_get_reads_post_commit_state(self):
+        s = KVStore()
+        res = Txn(s).then(Op.put("k", 41), Op.get("k")).commit()
+        assert res.responses[1].value == 41
+
+    def test_read_only_txn_consumes_no_revision(self):
+        s = KVStore()
+        s.put("k", 1)
+        Txn(s).then(Op.get("k")).commit()
+        assert s.revision == 1
+
+
+class TestCoalescedWatch:
+    def test_coalesced_watch_receives_watchbatch(self, sim):
+        ds = Datastore(sim)
+        seen = []
+        w = ds.watches.watch("gpu/", seen.append, prefix=True, coalesced=True)
+        ds.kv.apply_batch(
+            [("put", "gpu/0", "busy"), ("put", "gpu/1", "idle"), ("put", "fn/x", 1)]
+        )
+        assert len(seen) == 1
+        batch = seen[0]
+        assert isinstance(batch, WatchBatch)
+        assert [e.key for e in batch] == ["gpu/0", "gpu/1"]  # fn/x filtered out
+        assert w.batches_delivered == 1
+        assert w.delivered == 2
+
+    def test_plain_watch_gets_individual_events_per_batch(self, sim):
+        ds = Datastore(sim)
+        seen = []
+        w = ds.watches.watch("gpu/", seen.append, prefix=True)
+        ds.kv.apply_batch([("put", "gpu/0", "busy"), ("put", "gpu/1", "idle")])
+        assert [(e.type, e.key) for e in seen] == [
+            (EventType.PUT, "gpu/0"),
+            (EventType.PUT, "gpu/1"),
+        ]
+        assert w.batches_delivered == 1
+
+    def test_replay_across_coalesced_batches_groups_by_revision(self, sim):
+        ds = Datastore(sim)
+        ds.kv.apply_batch([("put", "a", 1), ("put", "b", 2)])  # rev 1
+        ds.kv.put("a", 3)  # rev 2
+        ds.kv.apply_batch([("put", "b", 4), ("delete", "a")])  # rev 3
+        seen = []
+        ds.watches.watch("", seen.append, prefix=True, start_revision=0, coalesced=True)
+        assert [b.revision for b in seen] == [1, 2, 3]
+        assert [e.key for e in seen[0]] == ["a", "b"]
+        assert [(e.key, e.type) for e in seen[2]] == [
+            ("b", EventType.PUT),
+            ("a", EventType.DELETE),
+        ]
+
+    def test_plain_replay_across_batches_stays_flat(self, sim):
+        ds = Datastore(sim)
+        ds.kv.apply_batch([("put", "a", 1), ("put", "b", 2)])
+        seen = []
+        ds.watches.watch("", seen.append, prefix=True, start_revision=0)
+        assert [e.key for e in seen] == ["a", "b"]
+        assert all(e.revision == 1 for e in seen)
+
+    def test_delayed_delivery_schedules_one_event_per_batch(self, sim):
+        ds = Datastore(sim, watch_delay=0.25)
+        seen = []
+        ds.watches.watch("", lambda b: seen.append((sim.now, len(b))), prefix=True, coalesced=True)
+        pending_before = len(sim)
+        ds.kv.apply_batch([("put", f"k/{i}", i) for i in range(10)])
+        assert len(sim) == pending_before + 1  # one delivery event, not ten
+        sim.run()
+        assert seen == [(0.25, 10)]
+
+
+class TestWriteBatch:
+    def test_flush_commits_once_and_clears(self):
+        s = KVStore()
+        wb = WriteBatch(s)
+        wb.put("a", 1)
+        wb.put("b", 2)
+        wb.delete("missing")
+        assert len(wb) == 3
+        commit = wb.flush()
+        assert commit.revision == 1
+        assert not wb
+        assert wb.flush().revision is None  # nothing pending
+
+    def test_lazy_value_evaluated_once_at_flush(self):
+        s = KVStore()
+        wb = WriteBatch(s)
+        calls = []
+        state = {"order": ["m1"]}
+
+        def serialize():
+            calls.append(1)
+            return list(state["order"])
+
+        for _ in range(10):  # ten touches, one serialization
+            wb.put_lazy("gpu/lru/g0", serialize)
+        state["order"] = ["m1", "m2"]
+        wb.flush()
+        assert calls == [1]
+        assert s.get_value("gpu/lru/g0") == ["m1", "m2"]  # flush-time state
+
+    def test_lazy_delete_sentinel(self):
+        s = KVStore()
+        s.put("cache/locations/m", ["g0"])
+        wb = WriteBatch(s)
+        wb.put_lazy("cache/locations/m", lambda: DELETE)
+        wb.flush()
+        assert "cache/locations/m" not in s
+
+    def test_delete_then_put_through_writebatch_recreates(self):
+        """The gateway-update pattern: client deletes fn/meta then re-puts
+        it within one batch — the flush must recreate the key."""
+        s = KVStore()
+        s.put("fn/meta/f", {"v": 1})
+        s.put("fn/meta/f", {"v": 2})
+        wb = WriteBatch(s)
+        wb.delete("fn/meta/f")
+        wb.put("fn/meta/f", {"v": 3})
+        wb.flush()
+        kv = s.get("fn/meta/f")
+        assert kv.value == {"v": 3}
+        assert kv.version == 1  # recreated, like sequential delete+put
+
+    def test_overwritten_counts_lww_absorption(self):
+        wb = WriteBatch(KVStore())
+        wb.put("k", 1)
+        wb.put("k", 2)
+        wb.delete("k")
+        assert wb.overwritten == 2
+
+    def test_peek_resolves_pending_state(self):
+        s = KVStore()
+        s.put("committed", "old")
+        wb = WriteBatch(s)
+        wb.put("committed", "new")
+        wb.put_lazy("lazy", lambda: 7)
+        wb.delete("committed2")
+        assert wb.peek("committed") == ("put", "new")
+        assert wb.peek("lazy") == ("put", 7)
+        assert wb.peek("committed2") == ("delete", None)
+        assert wb.peek("untouched") is None
+
+
+class TestBatchedClient:
+    def test_read_your_writes_before_flush(self, sim):
+        ds = Datastore(sim, batched=True)
+        c = ds.client()
+        c.put("k", 1)
+        assert ds.kv.revision == 0  # nothing committed yet
+        assert c.get("k") == 1  # but the client sees its own write
+        c.delete("k")
+        assert c.get("k", "gone") == "gone"
+
+    def test_range_overlays_pending_batch(self, sim):
+        ds = Datastore(sim, batched=True)
+        c = ds.client("ns")
+        c.put("gpu/0", "idle")
+        ds.flush()
+        c.put("gpu/1", "busy")  # pending
+        c.delete("gpu/0")  # pending
+        assert c.range("gpu/") == {"gpu/1": "busy"}
+
+    def test_flush_commits_one_revision_per_action(self, sim):
+        ds = Datastore(sim, batched=True)
+        c = ds.client()
+        c.put("gpu/status/g0", "busy")
+        c.put("gpu/finish_time/g0", 3.5)
+        c.put("gpu/lru/g0", ["m1"])
+        assert ds.flush() == 3
+        assert ds.kv.revision == 1
+        assert ds.stats.flushes == 1
+        assert ds.stats.logical_writes == 3
+
+    def test_post_event_hook_flushes_at_action_boundary(self, sim):
+        ds = Datastore(sim, batched=True)
+        c = ds.client()
+        seen = []
+        ds.watches.watch("", seen.append, prefix=True, coalesced=True)
+        sim.schedule(1.0, lambda: (c.put("a", 1), c.put("b", 2)))
+        sim.schedule(2.0, lambda: c.put("a", 3))
+        sim.run()
+        assert ds.kv.revision == 2  # one revision per event, not per put
+        assert [b.revision for b in seen] == [1, 2]
+        assert [e.key for e in seen[0]] == ["a", "b"]
+
+    def test_lease_attaches_at_flush(self, sim):
+        ds = Datastore(sim, batched=True)
+        c = ds.client()
+        lease = c.lease(ttl=5.0)
+        c.put("gpu/status/g0", "idle", lease=lease)
+        ds.flush()
+        assert c.get("gpu/status/g0") == "idle"
+        sim.run(until=5.0)
+        assert c.get("gpu/status/g0") is None  # lease expiry deleted it
+
+    def test_unbatched_put_lazy_writes_through(self, sim):
+        ds = Datastore(sim)  # batched=False
+        c = ds.client()
+        c.put_lazy("k", lambda: 42)
+        assert ds.kv.revision == 1
+        c.put_lazy("k", lambda: DELETE)
+        assert "k" not in ds.kv
