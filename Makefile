@@ -1,17 +1,23 @@
 # Convenience targets for the conf_ipps_ZhaoJH23 reproduction.
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench parity figures
+.PHONY: test bench bench-check parity figures
 
 ## Tier-1 verification: the full unit/property/benchmark suite.
 test:
 	python -m pytest -x -q
 
 ## Scheduler perf trajectory: runs benchmarks/test_scheduler_overhead.py
-## under pytest-benchmark and writes BENCH_scheduler.json (committed, so
+## under pytest-benchmark, replays the §V-A workload end-to-end at
+## 2k/20k/100k requests, and writes BENCH_scheduler.json (committed, so
 ## every PR is measured against the last).
 bench:
 	python -m repro.experiments bench
+
+## Gate the committed trajectory: fails when the 20k/2k pass-cost ratio
+## exceeds 3x or the batched path drifts from ~1 revision per action.
+bench-check:
+	python -m repro.experiments bench-check
 
 ## Fast-path/reference decision parity only (quick hot-path sanity).
 parity:

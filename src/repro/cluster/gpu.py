@@ -71,6 +71,12 @@ class GPUDevice:
         self.memory_mb = float(memory_mb)
         self.pcie = pcie or PCIeModel()
         self.state = GPUState.IDLE
+        # state flags as plain attributes: the scheduling passes probe
+        # is_idle tens of times per pass, so a property call would be a
+        # measurable share of the pass cost.  _set_state keeps them exact.
+        self.is_idle = True
+        self.is_busy = False
+        self.is_online = True
         self._processes: dict[str, GPUProcess] = {}  # model_instance -> process
         self._used_mb = 0.0
         self._intervals = IntervalAccumulator(sim)
@@ -167,14 +173,6 @@ class GPUDevice:
     # ------------------------------------------------------------------
     # Busy / idle state machine
     # ------------------------------------------------------------------
-    @property
-    def is_idle(self) -> bool:
-        return self.state is GPUState.IDLE
-
-    @property
-    def is_busy(self) -> bool:
-        return self.state is not GPUState.IDLE
-
     def begin_loading(self) -> None:
         self._transition(GPUState.IDLE, GPUState.LOADING)
 
@@ -187,10 +185,6 @@ class GPUDevice:
         if self.state is GPUState.OFFLINE:
             raise RuntimeError(f"{self.gpu_id} is offline; bring it online first")
         self._set_state(GPUState.IDLE)
-
-    @property
-    def is_online(self) -> bool:
-        return self.state is not GPUState.OFFLINE
 
     def go_offline(self) -> None:
         """Fail or drain the GPU (allowed from any state)."""
@@ -209,6 +203,9 @@ class GPUDevice:
     def _set_state(self, to: GPUState) -> None:
         self._intervals.switch(to.value)
         self.state = to
+        self.is_idle = to is GPUState.IDLE
+        self.is_busy = not self.is_idle
+        self.is_online = to is not GPUState.OFFLINE
         if self.on_change is not None:
             self.on_change(self)
 

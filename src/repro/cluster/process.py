@@ -30,7 +30,7 @@ class ProcessState(enum.Enum):
     KILLED = "killed"      # evicted; memory released
 
 
-@dataclass
+@dataclass(slots=True)
 class GPUProcess:
     """A process pinned to one model instance on one GPU.
 

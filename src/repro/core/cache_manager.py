@@ -59,8 +59,25 @@ class CacheManager:
             g.gpu_id: policy_factory() for g in gpus
         }
         self._locations: dict[str, set[str]] = {}  # model_id -> gpu_ids
+        self._locations_sorted: dict[str, list[str]] = {}  # invalidated on load/evict
         self._datastore = datastore
         self._observers: list[CacheEvent] = []
+        # dirty-key names and thunks, built once per GPU / lazily per model:
+        # _publish runs on every cache touch, so no f-strings or closures
+        # are allocated on that path.  Published values are tuples — an
+        # immutable snapshot per commit; the store's history retains one
+        # per flush, and immutable tuples drop out of cyclic-GC tracking,
+        # which matters over 100k+-request replays.
+        self._lru_marks = {
+            g.gpu_id: (
+                f"gpu/lru/{g.gpu_id}",
+                # late-bound through _policies: ablations swap the policy
+                # objects after construction (Belady oracle)
+                lambda gid=g.gpu_id: tuple(self._policies[gid].eviction_order()),
+            )
+            for g in gpus
+        }
+        self._location_marks: dict[str, tuple[str, Callable[[], object]]] = {}
 
     # ------------------------------------------------------------------
     # Lookups (used by GPU Managers and the Scheduler)
@@ -69,8 +86,17 @@ class CacheManager:
         return gpu_id in self._locations.get(model_id, ())
 
     def locations(self, model_id: str) -> list[str]:
-        """GPUs where ``model_id`` is resident, sorted for determinism."""
-        return sorted(self._locations.get(model_id, ()))
+        """GPUs where ``model_id`` is resident, sorted for determinism.
+
+        Cached between residency changes (Alg. 2 asks on every scan);
+        callers must not mutate the returned list.
+        """
+        cached = self._locations_sorted.get(model_id)
+        if cached is None:
+            cached = self._locations_sorted[model_id] = sorted(
+                self._locations.get(model_id, ())
+            )
+        return cached
 
     def duplicates(self, model_id: str) -> int:
         """Number of GPUs simultaneously caching ``model_id`` (Fig. 6 metric)."""
@@ -117,6 +143,7 @@ class CacheManager:
         """A model finished uploading to ``gpu_id``."""
         self._policies[gpu_id].on_insert(instance.instance_id, instance.occupied_mb, self.sim.now)
         self._locations.setdefault(instance.instance_id, set()).add(gpu_id)
+        self._locations_sorted.pop(instance.instance_id, None)
         self._publish(gpu_id, instance.instance_id)
         self._emit("load", gpu_id, instance.instance_id)
 
@@ -128,6 +155,7 @@ class CacheManager:
             locs.discard(gpu_id)
             if not locs:
                 del self._locations[model_id]
+        self._locations_sorted.pop(model_id, None)
         self._publish(gpu_id, model_id)
         self._emit("evict", gpu_id, model_id)
 
@@ -159,10 +187,13 @@ class CacheManager:
         """
         if self._datastore is None:
             return
-        self._datastore.put_lazy(
-            f"gpu/lru/{gpu_id}", self._policies[gpu_id].eviction_order
-        )
-        self._datastore.put_lazy(
-            f"cache/locations/{model_id}",
-            lambda model_id=model_id: self.locations(model_id) or DELETE,
-        )
+        lru_key, lru_thunk = self._lru_marks[gpu_id]
+        self._datastore.put_lazy(lru_key, lru_thunk)
+        mark = self._location_marks.get(model_id)
+        if mark is None:
+            mark = (
+                f"cache/locations/{model_id}",
+                lambda model_id=model_id: tuple(self.locations(model_id)) or DELETE,
+            )
+            self._location_marks[model_id] = mark
+        self._datastore.put_lazy(mark[0], mark[1])

@@ -13,8 +13,7 @@ from __future__ import annotations
 
 import enum
 from collections import Counter, deque
-from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, NamedTuple
 
 __all__ = ["DecisionKind", "Decision", "DecisionLog"]
 
@@ -27,8 +26,9 @@ class DecisionKind(enum.Enum):
     RESUBMIT = "resubmit"                  # failure handling: back to global queue
 
 
-@dataclass(frozen=True)
-class Decision:
+class Decision(NamedTuple):
+    """One recorded scheduling action (NamedTuple: minted on every dispatch)."""
+
     time_s: float
     kind: DecisionKind
     request_id: int

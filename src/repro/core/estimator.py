@@ -50,6 +50,11 @@ class FinishTimeEstimator:
         #: sum that must be lazily recomputed (mutation seen before the
         #: device was known)
         self._queued_cost: dict[str, float | None] = {}
+        #: (architecture, gpu_type, batch) -> profiled latency.  Profiles
+        #: are immutable once registered, so the memo never invalidates;
+        #: Alg. 2 evaluates these on every wait-vs-load comparison.
+        self._infer_memo: dict[tuple[str, str, int], float] = {}
+        self._load_memo: dict[tuple[str, str], float] = {}
         local_queues.subscribe(self._on_queue_change)
 
     # ------------------------------------------------------------------
@@ -93,12 +98,20 @@ class FinishTimeEstimator:
     # ------------------------------------------------------------------
     def infer_time(self, request: InferenceRequest, gpu: GPUDevice) -> float:
         """Profiled inference latency of ``request`` on ``gpu``'s type."""
-        profile = self.registry.get(request.model.architecture, gpu.gpu_type)
-        return profile.infer_time(request.batch_size)
+        key = (request.model.architecture, gpu.gpu_type, request.batch_size)
+        t = self._infer_memo.get(key)
+        if t is None:
+            profile = self.registry.get(key[0], key[1])
+            t = self._infer_memo[key] = profile.infer_time(request.batch_size)
+        return t
 
     def load_time(self, request: InferenceRequest, gpu: GPUDevice) -> float:
         """Profiled model-upload latency of ``request`` on ``gpu``'s type."""
-        return self.registry.get(request.model.architecture, gpu.gpu_type).load_time_s
+        key = (request.model.architecture, gpu.gpu_type)
+        t = self._load_memo.get(key)
+        if t is None:
+            t = self._load_memo[key] = self.registry.get(key[0], key[1]).load_time_s
+        return t
 
     def queued_cost(self, gpu: GPUDevice) -> float:
         """Total inference time queued on ``gpu``'s local queue (O(1)).

@@ -24,7 +24,7 @@ simulator's post-event hook), one revision, one coalesced watch batch.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, NamedTuple
 
 from ..cluster.gpu import GPUDevice, GPUState
 from ..cluster.node import GPUNode
@@ -36,7 +36,25 @@ from .cache_manager import CacheManager
 from .estimator import FinishTimeEstimator
 from .request import InferenceRequest, RequestState
 
-__all__ = ["GPUManager"]
+__all__ = ["GPUManager", "LatencyRecord"]
+
+
+class LatencyRecord(NamedTuple):
+    """Per-invocation record mirrored to ``fn/latency/<request_id>``.
+
+    An immutable NamedTuple rather than a dict: one is retained in the
+    store's history per completed request, and tuples of atomic values
+    leave the cyclic collector's tracked set — at 100k+ requests the
+    difference is a full-heap GC pass over 100k fewer containers.
+    """
+
+    function: str
+    model: str
+    gpu: str | None
+    latency_s: float
+    queueing_s: float
+    cache_hit: bool | None
+    false_miss: bool
 
 
 class GPUManager:
@@ -66,6 +84,10 @@ class GPUManager:
         self.on_dispatch = on_dispatch or (lambda req: None)
         self._executing: dict[str, InferenceRequest] = {}  # gpu_id -> in-flight request
         self._pending_event: dict[str, object] = {}  # gpu_id -> scheduled sim Event
+        # per-GPU key strings, built once: status/finish-time puts happen on
+        # every dispatch and completion
+        self._status_key = {g.gpu_id: f"gpu/status/{g.gpu_id}" for g in node.gpus}
+        self._finish_key = {g.gpu_id: f"gpu/finish_time/{g.gpu_id}" for g in node.gpus}
         for gpu in node.gpus:
             self._set_status(gpu, "idle")
 
@@ -200,24 +222,24 @@ class GPUManager:
     def _publish_busy_until(self, gpu: GPUDevice, t: float) -> None:
         self.estimator.set_busy_until(gpu.gpu_id, t)
         if self.datastore is not None:
-            self.datastore.put(f"gpu/finish_time/{gpu.gpu_id}", t)
+            self.datastore.put(self._finish_key[gpu.gpu_id], t)
 
     def _set_status(self, gpu: GPUDevice, status: str) -> None:
         if self.datastore is not None:
-            self.datastore.put(f"gpu/status/{gpu.gpu_id}", status)
+            self.datastore.put(self._status_key[gpu.gpu_id], status)
 
     def _record_latency(self, request: InferenceRequest) -> None:
         if self.datastore is None:
             return
         self.datastore.put(
             f"fn/latency/{request.request_id}",
-            {
-                "function": request.function_name,
-                "model": request.model_id,
-                "gpu": request.gpu_id,
-                "latency_s": request.latency,
-                "queueing_s": request.queueing_delay,
-                "cache_hit": request.cache_hit,
-                "false_miss": request.false_miss,
-            },
+            LatencyRecord(
+                function=request.function_name,
+                model=request.model_id,
+                gpu=request.gpu_id,
+                latency_s=request.latency,
+                queueing_s=request.queueing_delay,
+                cache_hit=request.cache_hit,
+                false_miss=request.false_miss,
+            ),
         )

@@ -29,10 +29,16 @@ scan:
   as executable documentation and so the decision-parity tests can assert
   the fast path produces byte-identical ``DecisionLog`` sequences.
 
-The fast path assumes the admission check is trivially true; when a
-:class:`~repro.core.tenancy.TenancyController` is installed (per-request
-``may_dispatch`` answers), policies automatically fall back to the
-reference scan.
+The fast path assumes the admission check is trivially true.  With a
+:class:`~repro.core.tenancy.TenancyController` installed the policies no
+longer fall back to the reference scans wholesale: before each per-GPU
+scan they ask the controller to *certify the pass* from the GlobalQueue's
+tenant index (``pass_admission_trivial`` — every queued tenant has enough
+quota headroom to absorb the pass's worst case, so no ``may_dispatch``
+probe can refuse).  Only when a quota is actually binding does the scan
+drop to the literal reference loops, whose per-request probes handle
+refusals exactly.  ``fast_scans`` / ``reference_scans`` count which route
+each per-GPU scan took.
 """
 
 from __future__ import annotations
@@ -88,14 +94,30 @@ _MISSING = object()
 
 
 def _admission_is_trivial(s: SchedulerOps) -> bool:
-    """True when ``may_dispatch`` cannot say no (no tenancy controller).
+    """True when no ``may_dispatch`` probe can refuse for the rest of this
+    scheduling pass, so an index-driven scan that skips the probes is
+    decision-identical to the reference loop.
 
-    Only then may a policy use its index-driven fast path: the fast scans
-    skip the per-request admission probes the reference loops perform.
-    An implementation that omits the ``tenancy`` attribute entirely fails
-    safe — it gets the reference scans, which probe ``may_dispatch``.
+    Three cases:
+
+    * no tenancy controller — trivially true (the PR-1 fast-path gate);
+    * a controller exposing ``pass_admission_trivial`` — certified from
+      the GlobalQueue's tenant index against the pass's worst case (at
+      most one new model load per currently idle GPU), O(quota'd tenants)
+      instead of a queue scan;
+    * anything else (a ``tenancy`` object without the probe, or an ops
+      implementation omitting the attribute) — fail safe: the reference
+      scans run and probe ``may_dispatch`` per request.
     """
-    return getattr(s, "tenancy", _MISSING) is None
+    tenancy = getattr(s, "tenancy", _MISSING)
+    if tenancy is None:
+        return True
+    if tenancy is _MISSING:
+        return False
+    probe = getattr(tenancy, "pass_admission_trivial", None)
+    if probe is None:
+        return False
+    return probe(s.global_queue, len(s.idle_gpus()))
 
 
 class SchedulingPolicy(ABC):
@@ -104,6 +126,12 @@ class SchedulingPolicy(ABC):
     name: str = "abstract"
     #: flip to False to run the literal Algorithm-1/2 scans (parity tests)
     use_fast_path: bool = True
+
+    def __init__(self) -> None:
+        #: per-GPU scans served by the index-driven fast path
+        self.fast_scans = 0
+        #: per-GPU scans that dropped to the literal reference loops
+        self.reference_scans = 0
 
     @abstractmethod
     def schedule_pass(self, s: SchedulerOps) -> bool:
@@ -139,7 +167,9 @@ class LoadBalancingPolicy(SchedulingPolicy):
 
     def _head(self, s: SchedulerOps, gpu: GPUDevice) -> InferenceRequest | None:
         if self.use_fast_path and _admission_is_trivial(s):
+            self.fast_scans += 1
             return s.global_queue.head()  # O(1): admission cannot refuse it
+        self.reference_scans += 1
         return self._head_reference(s, gpu)
 
     @staticmethod
@@ -242,6 +272,7 @@ class LALBPolicy(SchedulingPolicy):
     """
 
     def __init__(self, limit: int = DEFAULT_O3_LIMIT) -> None:
+        super().__init__()
         if limit < 0:
             raise ValueError("O3 limit cannot be negative")
         self.limit = limit
@@ -272,7 +303,9 @@ class LALBPolicy(SchedulingPolicy):
             and s.global_queue.o3_limit == self.limit
             and _admission_is_trivial(s)
         ):
+            self.fast_scans += 1
             return self._schedule_gpu_fast(s, gpu)
+        self.reference_scans += 1
         return self._schedule_gpu_reference(s, gpu)
 
     def _schedule_gpu_fast(self, s: SchedulerOps, gpu: GPUDevice) -> bool:

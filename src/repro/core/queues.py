@@ -176,7 +176,7 @@ class GlobalQueue:
     entirely and behave like a plain indexed FIFO.
     """
 
-    def __init__(self, o3_limit: int | None = None) -> None:
+    def __init__(self, o3_limit: int | None = None, *, track_tenants: bool = False) -> None:
         self._o3_limit = o3_limit
         self._entries: list[_Entry | None] = []  # slot-ordered; None = removed
         self._keys: list[tuple[float, int]] = []  # parallel keys (kept for holes)
@@ -190,6 +190,14 @@ class GlobalQueue:
         self._starved: list[_Entry] = []  # slot-ordered; may hold dead entries
         self._starved_dead = 0
         self._version = 0  # bumped whenever slots are renumbered
+        # tenant-admissibility index (§VI isolation fast path): live entry
+        # count and queued model-size histogram per tenant, so a
+        # TenancyController can answer "can any admission check refuse a
+        # queued request this pass?" without scanning the queue.  Off by
+        # default — the Scheduler enables it when a controller is installed.
+        self._track_tenants = track_tenants
+        self._tenant_live: dict[str, int] = {}
+        self._tenant_sizes: dict[str, dict[float, int]] = {}  # tenant -> {mb: count}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -263,6 +271,8 @@ class GlobalQueue:
         self._buckets.setdefault(model_id, deque()).append(entry)
         self._model_live[model_id] = self._model_live.get(model_id, 0) + 1
         self._live += 1
+        if self._track_tenants:
+            self._tenant_add(request)
         if self._o3_limit is not None:
             self._attach_visits(entry)
 
@@ -298,6 +308,8 @@ class GlobalQueue:
         model_id = request.model_id
         self._model_live[model_id] = self._model_live.get(model_id, 0) + 1
         self._live += 1
+        if self._track_tenants:
+            self._tenant_add(request)
         self._head = min(self._head, pos)
         if self._o3_limit is not None:
             # set the entry's skip budget first: the tree rebuild below
@@ -336,6 +348,8 @@ class GlobalQueue:
         else:
             del self._model_live[model_id]
             del self._buckets[model_id]
+        if self._track_tenants:
+            self._tenant_remove(request)
 
     # ------------------------------------------------------------------
     # Lookups
@@ -364,6 +378,53 @@ class GlobalQueue:
 
     def queued_models(self) -> set[str]:
         return set(self._model_live)
+
+    # ------------------------------------------------------------------
+    # Tenant-admissibility index (§VI isolation fast path)
+    # ------------------------------------------------------------------
+    def _tenant_add(self, request: InferenceRequest) -> None:
+        tenant = request.tenant
+        self._tenant_live[tenant] = self._tenant_live.get(tenant, 0) + 1
+        sizes = self._tenant_sizes.setdefault(tenant, {})
+        mb = request.model.occupied_mb
+        sizes[mb] = sizes.get(mb, 0) + 1
+
+    def _tenant_remove(self, request: InferenceRequest) -> None:
+        tenant = request.tenant
+        remaining = self._tenant_live[tenant] - 1
+        if remaining:
+            self._tenant_live[tenant] = remaining
+        else:
+            del self._tenant_live[tenant]
+        sizes = self._tenant_sizes[tenant]
+        mb = request.model.occupied_mb
+        count = sizes[mb] - 1
+        if count:
+            sizes[mb] = count
+        else:
+            del sizes[mb]
+            if not sizes:
+                del self._tenant_sizes[tenant]
+
+    def queued_tenants(self):
+        """Tenants with live queued requests, or None when untracked.
+
+        ``None`` (tracking disabled) makes admission probes fail safe: a
+        policy that cannot see the tenant mix must use the reference scans.
+        """
+        if not self._track_tenants:
+            return None
+        return self._tenant_live.keys()
+
+    def max_queued_model_mb(self, tenant: str) -> float:
+        """Largest model size any of ``tenant``'s queued requests needs.
+
+        The conservative per-pass admission probe multiplies this by the
+        number of possible dispatches to bound the tenant's worst-case
+        memory growth within one scheduling pass.
+        """
+        sizes = self._tenant_sizes.get(tenant)
+        return max(sizes) if sizes else 0.0
 
     # ------------------------------------------------------------------
     # O3 visit accounting (Alg. 1 lines 11/15, done lazily)

@@ -29,9 +29,13 @@ class RequestState(enum.Enum):
     COMPLETED = "completed"
 
 
-@dataclass
+@dataclass(slots=True)
 class InferenceRequest:
-    """One function invocation that needs GPU inference."""
+    """One function invocation that needs GPU inference.
+
+    ``slots=True``: the runtime stamps and re-reads these fields on every
+    queue move, dispatch, and completion, so attribute access is hot.
+    """
 
     function_name: str
     model: ModelInstance

@@ -50,8 +50,13 @@ class Scheduler:
         self.estimator = estimator
         self.local_queues = estimator.local_queues
         # LALB policies carry an O3 limit: hand it to the queue so it can
-        # run the lazy visit accounting the index-driven fast path needs
-        self.global_queue = GlobalQueue(o3_limit=getattr(policy, "limit", None))
+        # run the lazy visit accounting the index-driven fast path needs;
+        # with a tenancy controller installed the queue also maintains the
+        # tenant-admissibility index the per-pass fast-path probe consults
+        self.global_queue = GlobalQueue(
+            o3_limit=getattr(policy, "limit", None),
+            track_tenants=tenancy is not None,
+        )
         self.datastore = datastore
         self.tenancy = tenancy
         self._managers = gpu_managers  # node_id -> GPUManager
@@ -153,9 +158,10 @@ class Scheduler:
         """
         version = self.cluster.version
         if version != self._freq_version:
-            self._freq_cache = sorted(
-                self.cluster.idle_gpus(), key=lambda g: (-g.completed_requests, g.gpu_id)
-            )
+            idle = self.cluster.idle_gpus()
+            if len(idle) > 1:
+                idle = sorted(idle, key=lambda g: (-g.completed_requests, g.gpu_id))
+            self._freq_cache = idle
             self._freq_version = version
         return self._freq_cache
 

@@ -132,6 +132,54 @@ class TenancyController:
         )
 
     # ------------------------------------------------------------------
+    # Per-pass fast-path probe (§VI scalability with isolation installed)
+    # ------------------------------------------------------------------
+    def pass_admission_trivial(self, queue, max_new_loads: int) -> bool:
+        """True when no admission check can refuse a queued request for the
+        remainder of the current scheduling pass.
+
+        The index-driven scheduling fast paths skip the per-request
+        ``may_dispatch`` probes, so they are only sound while every probe
+        would answer yes.  This method certifies that *for one pass* from
+        the queue's tenant index, conservatively:
+
+        * ``max_new_loads`` bounds how many model loads the pass can still
+          start (at most one per idle GPU — GPUs never become idle
+          mid-pass, completions arrive as separate simulator events);
+        * each load charges at most the tenant's largest queued model;
+        * GPU-time usage is constant within a pass (it only advances on
+          completion events) so the time-share check is evaluated once.
+
+        Quota'd tenants whose headroom cannot absorb that worst case — and
+        queues without a tenant index (``queued_tenants() is None``) — make
+        the probe fail, sending the policy to the reference scans whose
+        per-request checks handle refusals exactly.
+        """
+        if not self.quotas:
+            return True
+        tenants = queue.queued_tenants()
+        if tenants is None:
+            return False  # untracked queue: cannot certify, fail safe
+        now = self.sim.now
+        for tenant in self.quotas.keys() & tenants:
+            quota = self.quotas[tenant]
+            if quota.max_processes is not None:
+                if self._processes.get(tenant, 0) + max_new_loads > quota.max_processes:
+                    return False
+            if quota.max_memory_fraction is not None:
+                projected = (
+                    self._memory_mb.get(tenant, 0.0)
+                    + max_new_loads * queue.max_queued_model_mb(tenant)
+                )
+                if projected / self.total_memory_mb > quota.max_memory_fraction:
+                    return False
+            if quota.max_time_fraction is not None and now > 0:
+                capacity = self.num_gpus * now
+                if self._gpu_time_s.get(tenant, 0.0) / capacity > quota.max_time_fraction:
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
     # Admission check (consulted by the Scheduler)
     # ------------------------------------------------------------------
     def allows(self, request: InferenceRequest, *, will_load: bool | None = None) -> bool:

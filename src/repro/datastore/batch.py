@@ -145,23 +145,23 @@ class WriteBatch:
         pending, self._pending = self._pending, {}
         if not pending:
             return BatchCommit(revision=None, events=(), existed={})
-        ops: list[tuple] = []
+        # hand the store the coalesced {key: op} map it would have rebuilt
+        # from an op list anyway; ``fresh`` puts replay their absorbed
+        # delete inside the store (key recreated at version 1), exactly as
+        # the sequential delete-then-put would have
+        coalesced: dict[str, tuple] = {}
         leases: list[tuple[str, "Lease"]] = []
         for key, (kind, payload, lease, fresh) in pending.items():
             if kind == _LAZY:
                 value = payload()
                 kind, payload = (_DEL, None) if value is DELETE else (_PUT, value)
             if kind == _PUT:
-                if fresh:
-                    # replay the absorbed delete so the store recreates the
-                    # key instead of versioning over the pre-batch value
-                    ops.append(("delete", key))
-                ops.append(("put", key, payload))
+                coalesced[key] = ("put", payload, fresh)
                 if lease is not None:
                     leases.append((key, lease))
             else:
-                ops.append(("delete", key))
-        commit = self._store.apply_batch(ops)
+                coalesced[key] = ("delete",)
+        commit = self._store._apply_coalesced(coalesced)
         if commit.revision is not None:
             for key, lease in leases:
                 if lease.alive:

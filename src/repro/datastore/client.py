@@ -14,10 +14,10 @@ key                             value
 ==============================  =============================================
 ``gpu/status/<gpu_id>``         ``"busy"`` | ``"idle"``
 ``gpu/finish_time/<gpu_id>``    float, absolute estimated finish time
-``gpu/lru/<gpu_id>``            list[str], LRU order (head = coldest)
-``cache/locations/<model>``     list[str], GPUs where the model is resident
+``gpu/lru/<gpu_id>``            tuple[str, ...], LRU order (head = coldest)
+``cache/locations/<model>``     tuple[str, ...], GPUs where the model is resident
 ``fn/meta/<fn_name>``           dict, registered-function metadata
-``fn/latency/<request_id>``     dict, per-invocation latency record
+``fn/latency/<request_id>``     ``LatencyRecord``, per-invocation latency record
 ``fn/scale/<fn_name>``          int, current replica count
 ==============================  =============================================
 
@@ -118,6 +118,8 @@ class Datastore:
         those are flushed too (bounded), so the pending set is empty when
         this returns under any sane watcher graph.
         """
+        if not self.pending:
+            return 0  # fast exit: this runs after *every* simulator event
         committed = 0
         for _ in range(_MAX_FLUSH_CASCADE):
             if not self.pending:
@@ -246,15 +248,18 @@ class DatastoreClient:
         *,
         prefix: bool = False,
         coalesced: bool = False,
+        max_pending: int | None = None,
     ) -> Watch:
         """Watch a namespaced key (or prefix) for changes.
 
         ``coalesced=True`` delivers one
         :class:`~repro.datastore.watch.WatchBatch` per committed
-        transaction instead of individual events.
+        transaction instead of individual events.  ``max_pending`` bounds
+        a delayed watcher's delivery queue (drop-oldest backpressure; see
+        :class:`~repro.datastore.watch.Watch`).
         """
         return self._store.watches.watch(
-            self._k(key), fn, prefix=prefix, coalesced=coalesced
+            self._k(key), fn, prefix=prefix, coalesced=coalesced, max_pending=max_pending
         )
 
     def lease(self, ttl: float) -> Lease:

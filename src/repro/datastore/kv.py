@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator, Sequence
+from typing import Any, Callable, Iterator, NamedTuple, Sequence
 
 __all__ = ["KeyValue", "KVStore", "CompactedError", "BatchCommit"]
 
@@ -40,9 +40,13 @@ class CompactedError(LookupError):
     """Raised when reading at a revision that has been compacted away."""
 
 
-@dataclass(frozen=True)
-class KeyValue:
-    """A key-value pair plus its etcd-style revision metadata."""
+class KeyValue(NamedTuple):
+    """A key-value pair plus its etcd-style revision metadata.
+
+    A NamedTuple rather than a dataclass: the control plane mints one per
+    committed key on every transaction, so construction cost is on the
+    write path's critical path.
+    """
 
     key: str
     value: Any
@@ -51,8 +55,7 @@ class KeyValue:
     version: int  # number of writes since creation; 1 for a fresh key
 
 
-@dataclass(frozen=True)
-class BatchCommit:
+class BatchCommit(NamedTuple):
     """Result of one atomic multi-key commit (:meth:`KVStore.apply_batch`).
 
     ``revision`` is None when the batch had no effect (empty, or only
@@ -79,19 +82,24 @@ class KVStore:
         self._live: dict[str, KeyValue] = {}
         # history: key -> ([mod_revisions], [KeyValue-or-tombstone])
         self._history: dict[str, tuple[list[int], list[Any]]] = {}
-        # global event log for watch replay: (revision, key, KeyValue|None),
-        # plus a parallel revision column so events_since/compact can bisect
-        # without rebuilding [e[0] for e in events] per call
-        self._events: list[tuple[int, str, KeyValue | None]] = []
+        # global event log for watch replay, stored as three parallel
+        # columns (revision / key / value) rather than one tuple per event:
+        # the revision column bisects for events_since/compact, and a long
+        # run no longer retains one GC-tracked tuple per historical write —
+        # at 100k+ requests the log holds ~500k entries, and full-heap GC
+        # passes over that many containers dominated replay wall time
         self._event_revs: list[int] = []
+        self._event_keys: list[str] = []
+        self._event_vals: list[KeyValue | None] = []
         # sorted live-key cache for range/keys/items; invalidated whenever
         # the *key set* changes (value-only updates keep it valid)
         self._sorted_keys: list[str] | None = []
-        # mutation hooks (used by the watch subsystem)
-        self._on_mutation: list[Callable[[str, KeyValue | None, int], None]] = []
+        # mutation hooks (used by the watch subsystem); stored as tuples so
+        # the per-commit fan-out iterates a stable snapshot without copying
+        self._on_mutation: tuple[Callable[[str, KeyValue | None, int], None], ...] = ()
         # batch hooks: fn(revision, [(key, KeyValue|None), ...]) — one call
         # per commit, single puts/deletes included as singleton batches
-        self._on_batch: list[Callable[[int, list[tuple[str, KeyValue | None]]], None]] = []
+        self._on_batch: tuple[Callable[[int, list[tuple[str, KeyValue | None]]], None], ...] = ()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -131,20 +139,20 @@ class KVStore:
         when a batch deleted the key before re-putting it, so coalescing
         preserves the sequential delete-then-put metadata.
         """
+        revision = self._revision
         prev = None if fresh else self._live.get(key)
-        kv = KeyValue(
-            key=key,
-            value=value,
-            create_revision=prev.create_revision if prev else self._revision,
-            mod_revision=self._revision,
-            version=prev.version + 1 if prev else 1,
-        )
         if prev is None:
+            kv = KeyValue(key, value, revision, revision, 1)
             self._sorted_keys = None
+        else:
+            kv = KeyValue(key, value, prev.create_revision, revision, prev.version + 1)
         self._live[key] = kv
-        self._record(key, kv)
-        self._events.append((self._revision, key, kv))
-        self._event_revs.append(self._revision)
+        revs, vals = self._history.setdefault(key, ([], []))
+        revs.append(revision)
+        vals.append(kv)
+        self._event_revs.append(revision)
+        self._event_keys.append(key)
+        self._event_vals.append(kv)
         return kv
 
     def _apply_delete(self, key: str) -> None:
@@ -152,8 +160,9 @@ class KVStore:
         del self._live[key]
         self._sorted_keys = None
         self._record(key, _TOMBSTONE)
-        self._events.append((self._revision, key, None))
         self._event_revs.append(self._revision)
+        self._event_keys.append(key)
+        self._event_vals.append(None)
 
     def put(self, key: str, value: Any) -> KeyValue:
         """Write ``key`` and return its new :class:`KeyValue`."""
@@ -202,23 +211,40 @@ class KVStore:
                 coalesced[key] = ("delete",)
             else:
                 raise ValueError(f"unknown batch op kind {kind!r}")
-        existed = {key: key in self._live for key in coalesced}
-        effective = any(
-            entry[0] == "put" or existed[key] for key, entry in coalesced.items()
-        )
+        return self._apply_coalesced(coalesced)
+
+    def _apply_coalesced(self, coalesced: dict[str, tuple]) -> BatchCommit:
+        """Commit an already-coalesced batch (``apply_batch``'s inner half).
+
+        ``coalesced`` maps key → ``("put", value, fresh)`` or
+        ``("delete",)``; the :class:`~repro.datastore.batch.WriteBatch`
+        maintains exactly this shape while accumulating, so its flush calls
+        here directly instead of rebuilding an op list for re-coalescing.
+        """
+        live = self._live
+        existed = {}
+        effective = False
+        for key, entry in coalesced.items():
+            ex = key in live
+            existed[key] = ex
+            if ex or entry[0] == "put":
+                effective = True
         if not effective:
             return BatchCommit(revision=None, events=(), existed=existed)
         self._revision += 1
         events: list[tuple[str, KeyValue | None]] = []
+        apply_put = self._apply_put
         for key, entry in coalesced.items():
             if entry[0] == "put":
-                events.append((key, self._apply_put(key, entry[1], fresh=entry[2])))
+                events.append((key, apply_put(key, entry[1], fresh=entry[2])))
             elif existed[key]:
                 self._apply_delete(key)
                 events.append((key, None))
-        for key, kv in events:
-            self._notify(key, kv, self._revision)
-        self._notify_batch(self._revision, events)
+        if self._on_mutation:
+            for key, kv in events:
+                self._notify(key, kv, self._revision)
+        if self._on_batch:
+            self._notify_batch(self._revision, events)
         return BatchCommit(revision=self._revision, events=tuple(events), existed=existed)
 
     def delete_prefix(self, prefix: str) -> int:
@@ -301,7 +327,9 @@ class KVStore:
                 f"cannot replay from revision {revision}: compacted at {self._compacted}"
             )
         idx = bisect.bisect_right(self._event_revs, revision)
-        return self._events[idx:]
+        return list(
+            zip(self._event_revs[idx:], self._event_keys[idx:], self._event_vals[idx:])
+        )
 
     def items(self) -> Iterator[KeyValue]:
         """Iterate live pairs in key order."""
@@ -324,8 +352,9 @@ class KVStore:
         self._compacted = revision
         # drop replayable events at or below the compaction revision
         idx = bisect.bisect_right(self._event_revs, revision)
-        del self._events[:idx]
         del self._event_revs[:idx]
+        del self._event_keys[:idx]
+        del self._event_vals[:idx]
         empty = []
         for key, (revs, vals) in self._history.items():
             # Keep the newest entry at-or-below `revision` so historical reads
@@ -348,20 +377,19 @@ class KVStore:
         vals.append(entry)
 
     def _notify(self, key: str, kv: KeyValue | None, revision: int) -> None:
-        for hook in list(self._on_mutation):
+        for hook in self._on_mutation:
             hook(key, kv, revision)
 
     def _notify_batch(self, revision: int, events: list[tuple[str, KeyValue | None]]) -> None:
-        for hook in list(self._on_batch):
+        for hook in self._on_batch:
             hook(revision, events)
 
     def subscribe(self, hook: Callable[[str, KeyValue | None, int], None]) -> Callable[[], None]:
         """Register a per-key mutation hook; returns an unsubscribe callable."""
-        self._on_mutation.append(hook)
+        self._on_mutation = self._on_mutation + (hook,)
 
         def unsubscribe() -> None:
-            if hook in self._on_mutation:
-                self._on_mutation.remove(hook)
+            self._on_mutation = tuple(h for h in self._on_mutation if h is not hook)
 
         return unsubscribe
 
@@ -375,10 +403,9 @@ class KVStore:
         batch.  This is what the watch subsystem consumes to deliver one
         notification per transaction instead of one per touched key.
         """
-        self._on_batch.append(hook)
+        self._on_batch = self._on_batch + (hook,)
 
         def unsubscribe() -> None:
-            if hook in self._on_batch:
-                self._on_batch.remove(hook)
+            self._on_batch = tuple(h for h in self._on_batch if h is not hook)
 
         return unsubscribe

@@ -14,11 +14,18 @@ has already coalesced writes last-write-wins per key, so a watcher never
 sees intermediate values a transaction overwrote (etcd semantics).  With a
 delivery delay this is also the scheduling win: one simulator event per
 watch per commit instead of one per touched key.
+
+Backpressure: a delayed watcher built with ``max_pending=N`` queues its
+commits in a bounded per-watcher buffer drained by a single in-flight
+delivery event; overflow drops the *oldest* undelivered batch and counts it
+in ``Watch.dropped_batches``.  The commit path therefore does O(1) work per
+slow watcher regardless of how far it has fallen behind.
 """
 
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass
 from itertools import groupby
 from typing import Any, Callable
@@ -66,7 +73,16 @@ class WatchBatch:
 
 
 class Watch:
-    """A single registration; cancel() stops delivery."""
+    """A single registration; cancel() stops delivery.
+
+    ``max_pending`` (delayed delivery only) bounds the watcher's in-flight
+    queue: each commit is enqueued rather than scheduled individually, a
+    single drain event delivers the queue in order, and when the queue is
+    full the **oldest** undelivered batch is dropped (``dropped_batches``
+    counts them).  A slow or wedged watcher therefore consumes O(bound)
+    memory and one pending simulator event instead of one per commit — it
+    can no longer grow the commit path's delivery backlog without limit.
+    """
 
     def __init__(
         self,
@@ -75,7 +91,10 @@ class Watch:
         prefix: bool,
         fn: Callable[..., None],
         coalesced: bool = False,
+        max_pending: int | None = None,
     ):
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be >= 1 (or None for unbounded)")
         self._hub = hub
         self.key = key
         self.prefix = prefix
@@ -86,14 +105,32 @@ class Watch:
         self.cancelled = False
         self.delivered = 0  # individual events delivered
         self.batches_delivered = 0  # commits delivered
+        #: delivery-queue bound (None = unbounded, the default)
+        self.max_pending = max_pending
+        #: commits dropped (drop-oldest) because the queue was full
+        self.dropped_batches = 0
+        self._queue: deque[tuple[int, tuple[WatchEvent, ...]]] = deque()
+        self._drain_scheduled = False
 
     def matches(self, key: str) -> bool:
         """Does this registration cover ``key``?"""
         return key.startswith(self.key) if self.prefix else key == self.key
 
+    @property
+    def pending_batches(self) -> int:
+        """Undelivered commits currently queued (bounded watchers only)."""
+        return len(self._queue)
+
+    def _enqueue(self, revision: int, events: tuple[WatchEvent, ...]) -> None:
+        if len(self._queue) >= self.max_pending:  # type: ignore[operator]
+            self._queue.popleft()
+            self.dropped_batches += 1
+        self._queue.append((revision, events))
+
     def cancel(self) -> None:
         """Stop delivery to this watch.  Idempotent."""
         self.cancelled = True
+        self._queue.clear()
         self._hub._drop(self)
 
 
@@ -119,13 +156,17 @@ class WatchHub:
         prefix: bool = False,
         start_revision: int | None = None,
         coalesced: bool = False,
+        max_pending: int | None = None,
     ) -> Watch:
         """Register a watch; with ``start_revision`` the watcher first
         receives every historical mutation after that revision (etcd's
         "watch from revision" catch-up), then live events.  ``coalesced``
         watchers receive one :class:`WatchBatch` per commit — catch-up
-        replay is grouped per historical revision the same way."""
-        w = Watch(self, key, prefix, fn, coalesced)
+        replay is grouped per historical revision the same way.
+        ``max_pending`` bounds the delayed-delivery queue (drop-oldest; see
+        :class:`Watch`); it has no effect on synchronous delivery, which
+        never queues."""
+        w = Watch(self, key, prefix, fn, coalesced, max_pending)
         if start_revision is not None:
             for revision, group in groupby(
                 self._store.events_since(start_revision), key=lambda e: e[0]
@@ -162,20 +203,53 @@ class WatchHub:
             self._watches.remove(w)
 
     def _on_commit(self, revision: int, items: list[tuple[str, KeyValue | None]]) -> None:
-        events = [self._event(revision, key, kv) for key, kv in items]
+        if not self._watches:
+            return  # the common un-watched store: no event objects built
+        make = self._event
         for w in list(self._watches):
             if w.cancelled:
                 continue
-            matched = tuple(ev for ev in events if w.matches(ev.key))
+            # match on raw keys first; WatchEvents are only constructed for
+            # commits a registration actually covers
+            matches = w.matches
+            matched = tuple(
+                make(revision, key, kv) for key, kv in items if matches(key)
+            )
             if not matched:
                 continue
             if self._delay > 0:
                 assert self._sim is not None
-                # one delivery event per watch per commit — the coalescing
-                # win: a batch of N keys no longer schedules N callbacks
-                self._sim.schedule(self._delay, self._deliver, w, revision, matched)
+                if w.max_pending is not None:
+                    # backpressure: bounded per-watcher queue drained by a
+                    # single in-flight event (drop-oldest on overflow)
+                    w._enqueue(revision, matched)
+                    if not w._drain_scheduled:
+                        w._drain_scheduled = True
+                        self._sim.schedule(self._delay, self._drain, w)
+                else:
+                    # one delivery event per watch per commit — the
+                    # coalescing win: a batch of N keys no longer
+                    # schedules N callbacks
+                    self._sim.schedule(self._delay, self._deliver, w, revision, matched)
             else:
                 self._deliver(w, revision, matched)
+
+    def _drain(self, w: Watch) -> None:
+        """Deliver a bounded watcher's queued commits, oldest first.
+
+        Only the batches queued when the drain fires are delivered: a
+        commit issued by the watcher's own callback schedules a fresh
+        drain ``delay`` later (the flag was cleared on entry) instead of
+        being consumed in-flight, which would deliver it at the same
+        simulated instant — and would let a self-retriggering watcher
+        spin forever without the clock advancing.
+        """
+        w._drain_scheduled = False
+        for _ in range(len(w._queue)):
+            if w.cancelled or not w._queue:
+                break
+            revision, events = w._queue.popleft()
+            self._deliver(w, revision, events)
 
     @staticmethod
     def _deliver(w: Watch, revision: int, events: tuple[WatchEvent, ...]) -> None:

@@ -8,7 +8,8 @@ Usage::
     python -m repro.experiments fig6
     python -m repro.experiments fig7
     python -m repro.experiments all
-    python -m repro.experiments bench   # scheduler perf → BENCH_scheduler.json
+    python -m repro.experiments bench        # scheduler perf → BENCH_scheduler.json
+    python -m repro.experiments bench-check  # gate the committed trajectory
 """
 
 from __future__ import annotations
@@ -29,7 +30,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "target",
-        choices=["table1", "fig4", "fig5", "fig6", "fig7", "ablations", "bench", "all"],
+        choices=[
+            "table1", "fig4", "fig5", "fig6", "fig7", "ablations",
+            "bench", "bench-check", "all",
+        ],
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
@@ -41,6 +45,17 @@ def main(argv: list[str] | None = None) -> int:
         from .bench import run_bench
 
         run_bench(args.bench_output)
+        return 0
+
+    if args.target == "bench-check":
+        from .bench import check_bench
+
+        problems = check_bench(args.bench_output)
+        if problems:
+            for problem in problems:
+                print(f"BENCH CHECK FAILED: {problem}", file=sys.stderr)
+            return 1
+        print("bench check ok: depth scaling and revisions-per-action within gates")
         return 0
 
     if args.target == "table1":

@@ -9,13 +9,25 @@ Datastore write mode and records the control plane's **write
 amplification** — datastore writes and revisions per scheduling action,
 revisions per 1k requests, and the batched path's revision-reduction
 factor — so the transactional write path's win is tracked alongside pass
-cost.  Each PR re-runs it, so the repository carries a perf trajectory for
-the scheduling hot path instead of anecdotes.
+cost.
+
+The ``end_to_end`` section replays the §V-A workload at 2k / 20k / 100k
+requests through the full system (columnar build → bulk injection → run →
+columnar summary), each in a fresh subprocess so the recorded peak RSS is
+per-replay, and records requests/second plus the speedup over both the
+retained per-request reference pipeline and the frozen pre-PR baseline.
+
+``check_bench`` (``make bench-check``) gates the committed trajectory: the
+20k/2k pass-cost ratio must stay under 3× (the index fast path's
+sublinearity) and the batched path must stay at ~1 revision per scheduling
+action.  Each PR re-runs it, so the repository carries a perf trajectory
+for the scheduling hot path instead of anecdotes.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import random
 import re
 import subprocess
@@ -23,7 +35,7 @@ import sys
 import tempfile
 from pathlib import Path
 
-__all__ = ["run_bench", "seeded_workload", "DEFAULT_OUTPUT"]
+__all__ = ["run_bench", "check_bench", "seeded_workload", "measure_end_to_end", "DEFAULT_OUTPUT"]
 
 #: frozen seed/size for the write-amplification replay: counts are exact
 #: (deterministic), not timings, so one run suffices
@@ -104,6 +116,108 @@ def measure_write_amplification() -> dict:
         ),
     }
 
+#: pre-PR end-to-end wall times (seconds) for the §V-A replay at each size,
+#: measured at commit 32f5d42 (per-request workload build + per-request
+#: arrival scheduling + object-scan metrics) on the same class of machine
+#: the committed trajectory numbers come from.  The recorded speedups are
+#: against these; re-baseline when the hardware changes.
+_PRE_PR_E2E_BASELINE_S = {2000: 0.330, 20000: 3.677, 100000: 16.088}
+_E2E_SIZES = (2000, 20000, 100000)
+
+# child-process body: one full replay, peak RSS measured in isolation
+_E2E_CHILD_CODE = """
+import json, resource, sys, time
+n = int(sys.argv[1]); reference = sys.argv[2] == "reference"
+from repro.traces.azure import SyntheticAzureTrace
+from repro.traces.workload import (
+    WorkloadSpec, build_workload, build_workload_reference,
+)
+from repro.runtime import FaaSCluster, SystemConfig
+from repro.metrics.summary import summarize
+
+minutes = max(1, round(n / 325))
+spec = WorkloadSpec(working_set=15, minutes=minutes)
+trace = SyntheticAzureTrace()
+t0 = time.perf_counter()
+if reference:
+    workload = build_workload_reference(spec, trace=trace)
+else:
+    workload = build_workload(spec, trace=trace)
+build_s = time.perf_counter() - t0
+system = FaaSCluster(SystemConfig())
+t1 = time.perf_counter()
+if reference:
+    for request in workload.requests:
+        system.submit_at(request)
+else:
+    system.submit_workload(workload)
+system.run()
+run_s = time.perf_counter() - t1
+t2 = time.perf_counter()
+summary = summarize(system.metrics, system.cluster, top_model=workload.top_model_id)
+summarize_s = time.perf_counter() - t2
+total = time.perf_counter() - t0
+print(json.dumps({
+    "requests": len(workload),
+    "completed": summary.completed_requests,
+    "build_s": round(build_s, 4),
+    "run_s": round(run_s, 4),
+    "summarize_s": round(summarize_s, 4),
+    "total_s": round(total, 4),
+    "requests_per_sec": round(len(workload) / total, 1),
+    "peak_rss_mb": round(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024, 1
+    ),
+}))
+"""
+
+
+def _e2e_replay(root: Path, n_requests: int, *, reference: bool = False) -> dict:
+    """Run one end-to-end replay in a fresh subprocess and parse its JSON."""
+    env = dict(os.environ)
+    src = str(root / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", _E2E_CHILD_CODE, str(n_requests),
+         "reference" if reference else "columnar"],
+        cwd=root, env=env, capture_output=True, text=True, timeout=900,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(f"end-to-end replay failed:\n{proc.stderr}")
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def measure_end_to_end(root: Path | None = None) -> dict:
+    """§V-A replays at 2k/20k/100k requests: wall time, req/s, peak RSS.
+
+    The 2k cell is also replayed through the retained reference pipeline
+    (per-request build + per-request arrival scheduling) so the columnar
+    pipeline's win is measured inside one commit, not only against the
+    frozen pre-PR baseline.
+    """
+    root = root or _repo_root()
+    sizes = {}
+    for n in _E2E_SIZES:
+        cell = _e2e_replay(root, n)
+        baseline = _PRE_PR_E2E_BASELINE_S.get(n)
+        if baseline is not None:
+            cell["pre_pr_baseline_s"] = baseline
+            cell["speedup_vs_pre_pr"] = round(baseline / cell["total_s"], 2)
+        sizes[str(n)] = cell
+    reference_2k = _e2e_replay(root, 2000, reference=True)
+    sizes["2000"]["reference_pipeline_s"] = reference_2k["total_s"]
+    sizes["2000"]["speedup_vs_reference_pipeline"] = round(
+        reference_2k["total_s"] / sizes["2000"]["total_s"], 2
+    )
+    return {
+        "workload": "§V-A working-set-15, 325 req/min, paper testbed",
+        "baseline_commit": "32f5d42",
+        "sizes": sizes,
+    }
+
+
 DEFAULT_OUTPUT = "BENCH_scheduler.json"
 _SUITE = Path("benchmarks") / "test_scheduler_overhead.py"
 #: end-to-end fig4 runs ride along so the trajectory also tracks whole-
@@ -176,6 +290,7 @@ def run_bench(output: str | None = None, *, verbose: bool = True) -> dict:
             sorted(pass_cost_by_depth.items(), key=lambda kv: int(kv[0]))
         ),
         "write_amplification": measure_write_amplification(),
+        "end_to_end": measure_end_to_end(root),
         "benchmarks": dict(sorted(benchmarks.items())),
     }
     out_path = root / (output or DEFAULT_OUTPUT)
@@ -191,4 +306,54 @@ def run_bench(output: str | None = None, *, verbose: bool = True) -> dict:
             f"{amp['batched']['revisions_per_scheduling_action']} batched "
             f"({amp['revision_reduction_factor']}x fewer)"
         )
+        for n, cell in report["end_to_end"]["sizes"].items():
+            extra = ""
+            if "speedup_vs_pre_pr" in cell:
+                extra = f"  ({cell['speedup_vs_pre_pr']}x vs pre-PR)"
+            print(
+                f"  e2e replay {int(n):>7,} req: {cell['total_s']:7.3f} s  "
+                f"{cell['requests_per_sec']:>9,.0f} req/s  "
+                f"rss {cell['peak_rss_mb']:6.1f} MB{extra}"
+            )
     return report
+
+
+#: bench-check gates (ROADMAP "BENCH trajectory")
+_MAX_DEPTH_RATIO = 3.0            # pass cost 20k-deep / 2k-deep
+_REVISIONS_PER_ACTION = (0.8, 1.3)  # batched path must stay at ~1
+
+
+def check_bench(path: str | None = None) -> list[str]:
+    """Validate a committed ``BENCH_scheduler.json`` against the ROADMAP
+    gates; returns the list of violations (empty = pass).
+
+    * the scheduling pass must stay sublinear in queue depth: cost at
+      depth 20 000 may be at most 3× the cost at depth 2 000;
+    * the batched write path must stay at ~1 revision per scheduling
+      action (0.8–1.3) — drift means some write stopped flowing through
+      the shared batch.
+    """
+    report_path = Path(path) if path else _repo_root() / DEFAULT_OUTPUT
+    report = json.loads(report_path.read_text())
+    problems: list[str] = []
+    depths = report.get("pass_cost_by_depth_s", {})
+    if "2000" in depths and "20000" in depths:
+        ratio = depths["20000"] / depths["2000"]
+        if ratio > _MAX_DEPTH_RATIO:
+            problems.append(
+                f"pass-cost depth scaling 20k/2k = {ratio:.2f}x "
+                f"(limit {_MAX_DEPTH_RATIO}x)"
+            )
+    else:
+        problems.append("pass_cost_by_depth_s is missing the 2000/20000 depths")
+    batched = report.get("write_amplification", {}).get("batched", {})
+    rpa = batched.get("revisions_per_scheduling_action")
+    lo, hi = _REVISIONS_PER_ACTION
+    if rpa is None:
+        problems.append("write_amplification.batched.revisions_per_scheduling_action missing")
+    elif not lo <= rpa <= hi:
+        problems.append(
+            f"batched revisions per scheduling action = {rpa} "
+            f"(expected ~1, allowed [{lo}, {hi}])"
+        )
+    return problems

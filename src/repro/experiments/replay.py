@@ -105,7 +105,14 @@ def replay_through_gateway(
     def fire(fid: str) -> None:
         replay.invocations.append(gateway.invoke(fid))
 
-    for request in workload.requests:
-        system.sim.schedule_at(warmup_s + request.arrival_time, fire, request.function_name)
+    # gateway invocations need only (time, function name): feed the
+    # workload's columns straight into the bulk scheduler — no
+    # InferenceRequest objects are materialized on this path at all
+    fids = workload.function_ids
+    system.sim.schedule_many(
+        (warmup_s + workload.arrival_times).tolist(),
+        fire,
+        ((fids[i],) for i in workload.function_index.tolist()),
+    )
     system.run()
     return replay

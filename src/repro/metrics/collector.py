@@ -8,16 +8,82 @@ The collector observes two event streams:
   which it integrates the *time-weighted* number of GPUs caching each
   model, the quantity behind Fig. 6's "average number of duplicates of the
   top one model".
+
+Storage is **columnar**: every completion appends one row of scalars
+(arrival / dispatch / completion stamps, interned model / GPU /
+architecture codes, hit and SLA outcomes) to typed NumPy buffers grown
+geometrically, alongside the request-object list kept for drill-down.
+:mod:`~repro.metrics.summary` reduces those columns with vectorized NumPy
+instead of per-request Python loops, and the per-model / miss counters are
+maintained *running* on :meth:`MetricsCollector.on_complete`, so queries
+like :meth:`most_invoked_model` cost O(models) — never a rescan of the
+completed list.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
 
 from ..core.request import InferenceRequest
 from ..sim import Simulator
 
-__all__ = ["MetricsCollector"]
+__all__ = ["MetricsCollector", "CompletionColumns"]
+
+
+@dataclass(frozen=True)
+class CompletionColumns:
+    """Trimmed, read-only views of the collector's completion columns.
+
+    One row per completed request, in completion order.  Codes index the
+    collector's ``model_names`` / ``gpu_names`` / ``architectures`` interning
+    tables.  ``cache_hit`` is ``1`` hit / ``0`` miss / ``-1`` unknown;
+    ``sla_s`` is NaN for best-effort requests.
+    """
+
+    arrival: np.ndarray       # float64, seconds
+    dispatched: np.ndarray    # float64, seconds
+    completed: np.ndarray     # float64, seconds
+    model: np.ndarray         # int32 codes
+    gpu: np.ndarray           # int32 codes
+    architecture: np.ndarray  # int32 codes
+    cache_hit: np.ndarray     # int8
+    false_miss: np.ndarray    # bool
+    sla_s: np.ndarray         # float64, NaN = no SLA
+
+    def __len__(self) -> int:
+        return int(self.arrival.shape[0])
+
+    @property
+    def latency(self) -> np.ndarray:
+        return self.completed - self.arrival
+
+    @property
+    def queueing(self) -> np.ndarray:
+        return self.dispatched - self.arrival
+
+
+class _Interner:
+    """String → dense int32 code, with the reverse table public."""
+
+    __slots__ = ("codes", "names")
+
+    def __init__(self) -> None:
+        self.codes: dict[str, int] = {}
+        self.names: list[str] = []
+
+    def code(self, name: str) -> int:
+        c = self.codes.get(name)
+        if c is None:
+            c = len(self.names)
+            self.codes[name] = c
+            self.names.append(name)
+        return c
+
+
+_INITIAL_CAPACITY = 1024
 
 
 class MetricsCollector:
@@ -33,6 +99,25 @@ class MetricsCollector:
         self._dup_since: dict[str, float] = {}
         self._dup_peak: dict[str, int] = defaultdict(int)
         self.cache_events: int = 0
+        # running per-completion counters (no rescans of `completed`)
+        self.miss_count = 0
+        self.false_miss_count = 0
+        self._invocations: dict[str, int] = {}  # model_id -> completions
+        # columnar completion buffers, grown geometrically
+        self._models = _Interner()
+        self._gpus = _Interner()
+        self._archs = _Interner()
+        self._n = 0
+        self._capacity = _INITIAL_CAPACITY
+        self._arrival = np.empty(self._capacity, dtype=np.float64)
+        self._dispatched = np.empty(self._capacity, dtype=np.float64)
+        self._completed_at = np.empty(self._capacity, dtype=np.float64)
+        self._model_code = np.empty(self._capacity, dtype=np.int32)
+        self._gpu_code = np.empty(self._capacity, dtype=np.int32)
+        self._arch_code = np.empty(self._capacity, dtype=np.int32)
+        self._cache_hit = np.empty(self._capacity, dtype=np.int8)
+        self._false_miss = np.empty(self._capacity, dtype=bool)
+        self._sla = np.empty(self._capacity, dtype=np.float64)
 
     # ------------------------------------------------------------------
     # Observers
@@ -41,6 +126,39 @@ class MetricsCollector:
         if request.completed_at is None:
             raise ValueError(f"request {request.request_id} has not completed")
         self.completed.append(request)
+        model_id = request.model_id
+        self._invocations[model_id] = self._invocations.get(model_id, 0) + 1
+        hit = request.cache_hit
+        if hit is False:
+            self.miss_count += 1
+        if request.false_miss:
+            self.false_miss_count += 1
+        i = self._n
+        if i == self._capacity:
+            self._grow()
+        self._arrival[i] = request.arrival_time
+        self._dispatched[i] = (
+            request.dispatched_at if request.dispatched_at is not None else np.nan
+        )
+        self._completed_at[i] = request.completed_at
+        self._model_code[i] = self._models.code(model_id)
+        self._gpu_code[i] = self._gpus.code(request.gpu_id or "?")
+        self._arch_code[i] = self._archs.code(request.model.architecture)
+        self._cache_hit[i] = -1 if hit is None else (1 if hit else 0)
+        self._false_miss[i] = request.false_miss
+        self._sla[i] = request.sla_s if request.sla_s is not None else np.nan
+        self._n = i + 1
+
+    def _grow(self) -> None:
+        self._capacity *= 2
+        for name in (
+            "_arrival", "_dispatched", "_completed_at", "_model_code",
+            "_gpu_code", "_arch_code", "_cache_hit", "_false_miss", "_sla",
+        ):
+            old = getattr(self, name)
+            new = np.empty(self._capacity, dtype=old.dtype)
+            new[: self._n] = old[: self._n]
+            setattr(self, name, new)
 
     def on_cache_event(self, kind: str, gpu_id: str, model_id: str, now: float) -> None:
         self.cache_events += 1
@@ -59,6 +177,41 @@ class MetricsCollector:
         since = self._dup_since.get(model_id, self.started_at)
         self._dup_integral[model_id] += self._dup_count[model_id] * (now - since)
         self._dup_since[model_id] = now
+
+    # ------------------------------------------------------------------
+    # Columnar access
+    # ------------------------------------------------------------------
+    @property
+    def completed_count(self) -> int:
+        """Completions so far (O(1); what the timeline sampler polls)."""
+        return self._n
+
+    @property
+    def model_names(self) -> list[str]:
+        return self._models.names
+
+    @property
+    def gpu_names(self) -> list[str]:
+        return self._gpus.names
+
+    @property
+    def architectures(self) -> list[str]:
+        return self._archs.names
+
+    def columns(self) -> CompletionColumns:
+        """Read-only views of the completion columns (zero-copy trims)."""
+        n = self._n
+        return CompletionColumns(
+            arrival=self._arrival[:n],
+            dispatched=self._dispatched[:n],
+            completed=self._completed_at[:n],
+            model=self._model_code[:n],
+            gpu=self._gpu_code[:n],
+            architecture=self._arch_code[:n],
+            cache_hit=self._cache_hit[:n],
+            false_miss=self._false_miss[:n],
+            sla_s=self._sla[:n],
+        )
 
     # ------------------------------------------------------------------
     # Queries
@@ -80,12 +233,19 @@ class MetricsCollector:
     def current_duplicates(self, model_id: str) -> int:
         return self._dup_count.get(model_id, 0)
 
+    def invocations(self, model_id: str) -> int:
+        """Completed invocations of one model (running counter, O(1))."""
+        return self._invocations.get(model_id, 0)
+
     def most_invoked_model(self) -> str | None:
         """Model instance with the most completed invocations (the "top one
-        model" of Fig. 6)."""
-        counts: dict[str, int] = defaultdict(int)
-        for req in self.completed:
-            counts[req.model_id] += 1
-        if not counts:
+        model" of Fig. 6).
+
+        O(models) off the running counters — the seed walked the whole
+        completed list on every call.  Ties break to the lexicographically
+        smallest model id, exactly as the rescan did.
+        """
+        if not self._invocations:
             return None
+        counts = self._invocations
         return max(sorted(counts), key=lambda m: counts[m])

@@ -4,6 +4,12 @@ Three headline metrics (§V-A): average function latency, cache miss ratio,
 and GPU (SM) utilization; plus the efficiency metrics of §V-D (false miss
 ratio, average duplicates of the hottest model) and the latency variance
 examined in the O3 sensitivity study (§V-E).
+
+All request-level quantities reduce the collector's completion *columns*
+with NumPy (means, percentiles, masked SLA counts) rather than iterating
+request objects; the object path survives only as a fallback for
+collectors whose ``completed`` list was populated out-of-band (hand-built
+fixtures), detected by a row-count mismatch.
 """
 
 from __future__ import annotations
@@ -62,12 +68,42 @@ def _latencies(requests: list[InferenceRequest]) -> np.ndarray:
     return np.array([r.latency for r in requests], dtype=float)
 
 
+def _columns_current(collector: MetricsCollector) -> bool:
+    """Columns cover the completed list (False for hand-built fixtures)."""
+    return collector.completed_count == len(collector.completed)
+
+
 def per_architecture_breakdown(collector: MetricsCollector) -> dict[str, dict[str, float]]:
     """Per-architecture statistics: count, mean latency, miss ratio.
 
     Big models (vgg19) pay more per miss than small ones (squeezenet), so
-    the breakdown shows where the locality wins come from.
+    the breakdown shows where the locality wins come from.  Groups by the
+    interned architecture codes: one boolean mask per architecture instead
+    of a Python dict-of-lists pass over the requests.
     """
+    if not _columns_current(collector):
+        return _per_architecture_breakdown_objects(collector)
+    cols = collector.columns()
+    lat = cols.latency
+    misses = cols.cache_hit == 0
+    out: dict[str, dict[str, float]] = {}
+    names = collector.architectures
+    for code in sorted(range(len(names)), key=lambda c: names[c]):
+        mask = cols.architecture == code
+        n = int(mask.sum())
+        if not n:
+            continue
+        sel = lat[mask]
+        out[names[code]] = {
+            "count": float(n),
+            "avg_latency_s": float(sel.mean()),
+            "p99_latency_s": float(np.percentile(sel, 99)),
+            "miss_ratio": float(misses[mask].sum()) / n,
+        }
+    return out
+
+
+def _per_architecture_breakdown_objects(collector: MetricsCollector) -> dict[str, dict[str, float]]:
     groups: dict[str, list[InferenceRequest]] = {}
     for r in collector.completed:
         groups.setdefault(r.model.architecture, []).append(r)
@@ -104,15 +140,28 @@ def summarize(
     duration = max(end - collector.started_at, 1e-12)
     if not reqs:
         raise ValueError("no completed requests to summarize")
-    lat = _latencies(reqs)
-    misses = sum(1 for r in reqs if r.cache_hit is False)
-    false_misses = sum(1 for r in reqs if r.false_miss)
+    if _columns_current(collector):
+        cols = collector.columns()
+        lat = cols.latency
+        queueing_mean = float(np.mean(cols.queueing))
+        misses = int(collector.miss_count)
+        false_misses = int(collector.false_miss_count)
+        with_sla = ~np.isnan(cols.sla_s)
+        n_sla = int(with_sla.sum())
+        sla_violations = (
+            float(np.sum(lat[with_sla] > cols.sla_s[with_sla])) / n_sla if n_sla else 0.0
+        )
+    else:  # out-of-band completed list: fall back to the object walk
+        lat = _latencies(reqs)
+        queueing_mean = float(np.mean([r.queueing_delay for r in reqs]))
+        misses = sum(1 for r in reqs if r.cache_hit is False)
+        false_misses = sum(1 for r in reqs if r.false_miss)
+        sla_reqs = [r for r in reqs if r.sla_s is not None]
+        sla_violations = (
+            sum(1 for r in sla_reqs if not r.met_sla) / len(sla_reqs) if sla_reqs else 0.0
+        )
     top = top_model if top_model is not None else collector.most_invoked_model()
     sm = float(np.mean([g.sm_utilization(horizon=duration) for g in cluster.gpus]))
-    with_sla = [r for r in reqs if r.sla_s is not None]
-    sla_violations = (
-        sum(1 for r in with_sla if not r.met_sla) / len(with_sla) if with_sla else 0.0
-    )
     return RunSummary(
         policy=policy,
         working_set=working_set,
@@ -128,7 +177,7 @@ def summarize(
             collector.average_duplicates(top, horizon=end) if top is not None else 0.0
         ),
         top_model=top,
-        avg_queueing_s=float(np.mean([r.queueing_delay for r in reqs])),
+        avg_queueing_s=queueing_mean,
         horizon_s=duration,
         sla_violation_ratio=sla_violations,
     )

@@ -5,6 +5,12 @@ system also need the *evolution* — queue depths, instantaneous GPU states,
 per-interval cache hit rates.  :class:`TimelineSampler` snapshots the
 system on a fixed period (simulated time) and exposes the series as NumPy
 arrays ready for plotting or CSV export.
+
+Samples land in a columnar buffer (one float64 matrix grown geometrically)
+and each snapshot reads the collector's running counters, so a snapshot is
+O(GPUs) — the seed rescanned the completed-request list per tick, which
+made sampling quadratic over a long run.  :attr:`TimelineSampler.samples`
+materializes :class:`TimelineSample` objects lazily for drill-down.
 """
 
 from __future__ import annotations
@@ -17,6 +23,19 @@ from ..cluster.gpu import GPUState
 from ..sim import PeriodicTimer
 
 __all__ = ["TimelineSample", "TimelineSampler"]
+
+_FIELDS = (
+    "time_s",
+    "global_queue_depth",
+    "local_queue_depth",
+    "gpus_idle",
+    "gpus_loading",
+    "gpus_inferring",
+    "completed_requests",
+    "cumulative_misses",
+)
+_FIELD_INDEX = {name: i for i, name in enumerate(_FIELDS)}
+_INT_FIELDS = frozenset(_FIELDS[1:])
 
 
 @dataclass(frozen=True)
@@ -51,7 +70,9 @@ class TimelineSampler:
             raise ValueError("period_s must be positive")
         self.system = system
         self.period_s = period_s
-        self.samples: list[TimelineSample] = []
+        self._n = 0
+        self._buf = np.empty((64, len(_FIELDS)), dtype=np.float64)
+        self._samples_cache: tuple[int, list[TimelineSample]] | None = None
         self._timer = PeriodicTimer(system.sim, period_s, self._snapshot)
 
     def start(self) -> None:
@@ -62,32 +83,60 @@ class TimelineSampler:
 
     # ------------------------------------------------------------------
     def _snapshot(self) -> None:
-        gpus = self.system.cluster.gpus
-        states = [g.state for g in gpus]
-        completed = self.system.completed
-        self.samples.append(
-            TimelineSample(
-                time_s=self.system.sim.now,
-                global_queue_depth=len(self.system.scheduler.global_queue),
-                local_queue_depth=self.system.scheduler.local_queues.total(),
-                gpus_idle=sum(1 for s in states if s is GPUState.IDLE),
-                gpus_loading=sum(1 for s in states if s is GPUState.LOADING),
-                gpus_inferring=sum(1 for s in states if s is GPUState.INFERRING),
-                completed_requests=len(completed),
-                cumulative_misses=sum(1 for r in completed if r.cache_hit is False),
-            )
+        system = self.system
+        idle = loading = inferring = 0
+        for g in system.cluster.gpus:
+            state = g.state
+            if state is GPUState.IDLE:
+                idle += 1
+            elif state is GPUState.LOADING:
+                loading += 1
+            elif state is GPUState.INFERRING:
+                inferring += 1
+        metrics = system.metrics
+        i = self._n
+        if i == len(self._buf):
+            grown = np.empty((2 * len(self._buf), len(_FIELDS)), dtype=np.float64)
+            grown[:i] = self._buf
+            self._buf = grown
+        self._buf[i] = (
+            system.sim.now,
+            len(system.scheduler.global_queue),
+            system.scheduler.local_queues.total(),
+            idle,
+            loading,
+            inferring,
+            metrics.completed_count,   # running counters: O(1) instead of
+            metrics.miss_count,        # rescanning the completed list
         )
+        self._n = i + 1
 
     # ------------------------------------------------------------------
     # Series accessors
     # ------------------------------------------------------------------
+    @property
+    def samples(self) -> list[TimelineSample]:
+        """Snapshots as objects (materialized from the columns, cached
+        until the next snapshot lands)."""
+        cached = self._samples_cache
+        if cached is not None and cached[0] == self._n:
+            return cached[1]
+        rows = [
+            TimelineSample(
+                row[0], int(row[1]), int(row[2]), int(row[3]),
+                int(row[4]), int(row[5]), int(row[6]), int(row[7]),
+            )
+            for row in self._buf[: self._n].tolist()
+        ]
+        self._samples_cache = (self._n, rows)
+        return rows
+
     def series(self, field: str) -> np.ndarray:
         """One sampled column as a NumPy array (see TimelineSample fields)."""
-        if not self.samples:
-            return np.empty(0)
-        if not hasattr(self.samples[0], field):
+        idx = _FIELD_INDEX.get(field)
+        if idx is None:
             raise KeyError(f"unknown timeline field {field!r}")
-        return np.array([getattr(s, field) for s in self.samples], dtype=float)
+        return self._buf[: self._n, idx].copy()
 
     def instantaneous_sm_utilization(self) -> np.ndarray:
         """Fraction of GPUs whose SMs were busy at each sample instant."""
@@ -102,10 +151,16 @@ class TimelineSampler:
             return np.where(done > 0, misses / done, np.nan)
 
     def peak_queue_depth(self) -> int:
-        if not self.samples:
+        if not self._n:
             return 0
         return int(self.series("global_queue_depth").max())
 
     def to_rows(self) -> list[dict]:
         """Flat dict rows (e.g. for csv.DictWriter)."""
-        return [vars(s) | {} for s in self.samples]
+        out = []
+        for row in self._buf[: self._n]:
+            d = {"time_s": float(row[0])}
+            for name in _FIELDS[1:]:
+                d[name] = int(row[_FIELD_INDEX[name]])
+            out.append(d)
+        return out

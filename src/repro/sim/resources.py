@@ -46,7 +46,7 @@ class PeriodicTimer:
         self._event = self._sim.schedule(self._period, self._tick)
 
 
-@dataclass
+@dataclass(slots=True)
 class IntervalAccumulator:
     """Accumulates time spent in named states.
 

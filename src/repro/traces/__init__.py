@@ -21,6 +21,7 @@ from .workload import (
     WorkloadSpec,
     assign_architectures,
     build_workload,
+    build_workload_reference,
 )
 
 __all__ = [
@@ -42,4 +43,5 @@ __all__ = [
     "WorkloadSpec",
     "assign_architectures",
     "build_workload",
+    "build_workload_reference",
 ]

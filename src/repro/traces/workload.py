@@ -14,6 +14,30 @@ Reproduces §V-A.1's pipeline exactly:
 Each function gets its own :class:`~repro.models.ModelInstance` (its own
 weights → its own cache item), so the cache working set equals K even when
 K exceeds the 22 distinct architectures (DESIGN.md §5.2).
+
+Columnar pipeline
+-----------------
+:func:`build_workload` is column-oriented end to end: per minute it draws
+the shuffled function indices and sorted uniform arrival offsets as NumPy
+arrays (the same generator calls, in the same order, as the original
+per-request loop — mandated by the seeded parity tests) and concatenates
+them into two flat columns:
+
+* ``Workload.arrival_times`` — float64, ascending within each minute;
+* ``Workload.function_index`` — int64 index into ``function_ids``.
+
+No :class:`~repro.core.request.InferenceRequest` objects are built during
+extraction.  ``Workload.requests`` **materializes them lazily** — the full
+object list is constructed once, on first access, and cached; column-only
+consumers (``describe``, ``counts`` reductions, the bench's workload-build
+timings, CSV export of arrival columns) never pay for object construction
+at all.  At 100k+ requests that turns extraction from the dominant cost
+into a rounding error and lets :meth:`~repro.runtime.system.FaaSCluster.
+submit_workload` bulk-inject the arrival column with one heap build.
+
+The literal seed implementation survives as :func:`build_workload_reference`
+so the parity tests can prove the columns encode the *identical* request
+stream (function ids, arrival times, model assignment, per-minute totals).
 """
 
 from __future__ import annotations
@@ -27,7 +51,13 @@ from ..models.profiles import PAPER_BATCH_SIZE, ModelInstance
 from ..models.zoo import TABLE1_ROWS, get_profile
 from .azure import SyntheticAzureTrace
 
-__all__ = ["WorkloadSpec", "Workload", "build_workload", "assign_architectures"]
+__all__ = [
+    "WorkloadSpec",
+    "Workload",
+    "build_workload",
+    "build_workload_reference",
+    "assign_architectures",
+]
 
 #: paper defaults (§V-A.1)
 PAPER_MINUTES = 6
@@ -57,13 +87,60 @@ class WorkloadSpec:
 
 @dataclass
 class Workload:
-    """A ready-to-submit request stream plus its provenance."""
+    """A ready-to-submit request stream plus its provenance.
+
+    The stream itself lives in two parallel columns (``arrival_times``,
+    ``function_index``); request *objects* are materialized lazily via
+    :attr:`requests` and cached, so purely columnar consumers never build
+    them.  ``len(workload)`` and iteration are provided for convenience —
+    iteration materializes (once) because the simulator mutates request
+    objects in place and every consumer must observe the same instances.
+    """
 
     spec: WorkloadSpec
-    requests: list[InferenceRequest]
     instances: dict[str, ModelInstance]          # function id -> model instance
     counts: np.ndarray                           # (working_set, minutes), normalized
     function_ids: list[str] = field(default_factory=list)
+    #: per-request arrival column, seconds from window start, minute-sorted
+    arrival_times: np.ndarray = field(default_factory=lambda: np.empty(0))
+    #: per-request index into ``function_ids``
+    function_index: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    tenant: str = "default"
+    _requests: list[InferenceRequest] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __len__(self) -> int:
+        return int(self.arrival_times.shape[0])
+
+    def __iter__(self):
+        return iter(self.requests)
+
+    @property
+    def materialized(self) -> bool:
+        """Whether the request objects have been built yet."""
+        return self._requests is not None
+
+    @property
+    def requests(self) -> list[InferenceRequest]:
+        """The request stream as objects (built on first access, cached)."""
+        if self._requests is None:
+            spec = self.spec
+            fids = self.function_ids
+            instances = self.instances
+            batch, tenant, sla = spec.batch_size, self.tenant, spec.sla_s
+            self._requests = [
+                InferenceRequest(
+                    function_name=(fid := fids[fi]),
+                    model=instances[fid],
+                    arrival_time=t,
+                    batch_size=batch,
+                    tenant=tenant,
+                    sla_s=sla,
+                )
+                for t, fi in zip(self.arrival_times.tolist(), self.function_index.tolist())
+            ]
+        return self._requests
 
     @property
     def duration_s(self) -> float:
@@ -84,7 +161,8 @@ class Workload:
         Includes the quantities §V-A.1 fixes (totals, rates, working set)
         plus the resulting skew and the aggregate model footprint — the
         ratio of footprint to cluster memory is what drives the
-        working-set trends in Figs. 4–6.
+        working-set trends in Figs. 4–6.  Computed entirely from the
+        columns; no request objects are materialized.
         """
         per_fn = self.counts.sum(axis=1)
         total = int(per_fn.sum())
@@ -139,17 +217,11 @@ def _normalize_minute(counts: np.ndarray, target: int) -> np.ndarray:
     return floor
 
 
-def build_workload(
-    spec: WorkloadSpec | None = None,
-    *,
-    trace: SyntheticAzureTrace | None = None,
-    tenant: str = "default",
-) -> Workload:
-    """Run the full §V-A.1 extraction pipeline."""
-    spec = spec or WorkloadSpec()
-    trace = trace or SyntheticAzureTrace()
+def _extract(
+    spec: WorkloadSpec, trace: SyntheticAzureTrace, tenant: str
+) -> tuple[list[str], np.ndarray, dict[str, ModelInstance], np.random.Generator]:
+    """Shared head of both pipelines: counts, normalization, instances."""
     rng = np.random.default_rng(spec.seed)
-
     function_ids = trace.top_functions(spec.working_set)
     raw = trace.counts(function_ids, range(spec.minutes))
     normalized = np.stack(
@@ -159,18 +231,84 @@ def build_workload(
         ],
         axis=1,
     )
-
     arch_of = assign_architectures(function_ids)
     instances = {
         fid: ModelInstance(f"{fid}#model", get_profile(arch_of[fid]), tenant=tenant)
         for fid in function_ids
     }
+    return list(function_ids), normalized, instances, rng
 
-    requests: list[InferenceRequest] = []
+
+def build_workload(
+    spec: WorkloadSpec | None = None,
+    *,
+    trace: SyntheticAzureTrace | None = None,
+    tenant: str = "default",
+) -> Workload:
+    """Run the full §V-A.1 extraction pipeline, column-oriented.
+
+    Per minute this performs exactly the generator calls of the original
+    per-request loop — ``shuffle`` over the repeated function indices,
+    then a sorted ``uniform`` draw — so the resulting columns encode the
+    byte-identical request stream (proven against
+    :func:`build_workload_reference` by the seeded parity tests), but no
+    request objects are constructed here.
+    """
+    spec = spec or WorkloadSpec()
+    trace = trace or SyntheticAzureTrace()
+    function_ids, normalized, instances, rng = _extract(spec, trace, tenant)
+
+    n_functions = len(function_ids)
+    per_minute = normalized.sum(axis=0)  # requests per minute (== target)
+    total = int(per_minute.sum())
+    arrival_col = np.empty(total, dtype=np.float64)
+    fn_col = np.empty(total, dtype=np.int64)
+    base = np.arange(n_functions)
+    offset = 0
     for m in range(spec.minutes):
         # one entry per invocation, shuffled, with sorted uniform arrivals —
         # "we randomly distribute the invocations of different functions
         # while maintaining the normalized total invocations per minute"
+        fn_indices = np.repeat(base, normalized[:, m])
+        rng.shuffle(fn_indices)
+        n = len(fn_indices)
+        arrival_col[offset : offset + n] = np.sort(
+            rng.uniform(60.0 * m, 60.0 * (m + 1), size=n)
+        )
+        fn_col[offset : offset + n] = fn_indices
+        offset += n
+    return Workload(
+        spec=spec,
+        instances=instances,
+        counts=normalized,
+        function_ids=function_ids,
+        arrival_times=arrival_col,
+        function_index=fn_col,
+        tenant=tenant,
+    )
+
+
+def build_workload_reference(
+    spec: WorkloadSpec | None = None,
+    *,
+    trace: SyntheticAzureTrace | None = None,
+    tenant: str = "default",
+) -> Workload:
+    """The seed repository's per-request extraction loop, retained verbatim.
+
+    Builds one :class:`InferenceRequest` at a time in Python — the path the
+    columnar pipeline must reproduce byte for byte.  Kept as executable
+    documentation, as the parity baseline, and as the bench's
+    "pre-vectorization" workload generator.
+    """
+    spec = spec or WorkloadSpec()
+    trace = trace or SyntheticAzureTrace()
+    function_ids, normalized, instances, rng = _extract(spec, trace, tenant)
+
+    requests: list[InferenceRequest] = []
+    arrivals_all: list[float] = []
+    fn_all: list[int] = []
+    for m in range(spec.minutes):
         fn_indices = np.repeat(np.arange(len(function_ids)), normalized[:, m])
         rng.shuffle(fn_indices)
         arrivals = np.sort(rng.uniform(60.0 * m, 60.0 * (m + 1), size=len(fn_indices)))
@@ -186,10 +324,16 @@ def build_workload(
                     sla_s=spec.sla_s,
                 )
             )
-    return Workload(
+            arrivals_all.append(float(t))
+            fn_all.append(int(fi))
+    workload = Workload(
         spec=spec,
-        requests=requests,
         instances=instances,
         counts=normalized,
-        function_ids=list(function_ids),
+        function_ids=function_ids,
+        arrival_times=np.array(arrivals_all, dtype=np.float64),
+        function_index=np.array(fn_all, dtype=np.int64),
+        tenant=tenant,
     )
+    workload._requests = requests  # already materialized, the hard way
+    return workload

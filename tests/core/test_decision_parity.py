@@ -111,6 +111,90 @@ def test_fast_path_is_the_default():
         assert make_scheduling_policy(policy).use_fast_path is True
 
 
+def _run_tenant(policy: str, fast: bool, spec, quotas, *, n_functions: int = N_FUNCTIONS):
+    """Run the workload with a TenancyController installed.
+
+    Every third function belongs to tenant ``"capped"`` (the quota'd one);
+    the rest stay on ``"default"``.  Returns (decision log keyed by
+    submission index, completed count, the policy object) so callers can
+    assert both parity and which scan route ran.
+    """
+    from repro.core.request import InferenceRequest
+
+    system = FaaSCluster(
+        SystemConfig(
+            cluster=ClusterSpec.homogeneous(2, 4), policy=policy, quotas=quotas
+        )
+    )
+    system.scheduler.policy.use_fast_path = fast
+    instances = [
+        ModelInstance(
+            f"m{i}",
+            get_profile(_architecture(i)),
+            tenant="capped" if i % 3 == 0 else "default",
+        )
+        for i in range(n_functions)
+    ]
+    for inst in instances:
+        system.register_model(inst)
+    id_to_index = {}
+    for index, (fn, t) in enumerate(spec):
+        request = InferenceRequest(
+            f"fn{fn}", instances[fn], arrival_time=t, tenant=instances[fn].tenant
+        )
+        id_to_index[request.request_id] = index
+        system.submit_at(request)
+    system.run()
+    log = [
+        (d.time_s, d.kind, id_to_index[d.request_id], d.model_id, d.gpu_id, d.visits)
+        for d in system.scheduler.decisions
+    ]
+    return log, len(system.completed), system.scheduler.policy
+
+
+class TestTenancyFastPath:
+    """With a TenancyController installed the policies must keep the
+    O(models-on-GPU) bound whenever no quota is binding — and still match
+    the reference scans decision for decision either way."""
+
+    def test_non_binding_quota_uses_fast_path_with_identical_decisions(self):
+        from repro.core.tenancy import TenantQuota
+
+        spec = _workload(SEED + 3, n_requests=1200)
+        quotas = {"capped": TenantQuota(max_processes=100)}
+        ref_log, ref_done, ref_policy = _run_tenant("lalbo3", False, spec, quotas)
+        fast_log, fast_done, fast_policy = _run_tenant("lalbo3", True, spec, quotas)
+        assert fast_log == ref_log
+        assert fast_done == ref_done == len(spec)
+        # the loose quota never binds: every scan must take the fast route
+        assert fast_policy.fast_scans > 0
+        assert fast_policy.reference_scans == 0
+
+    def test_binding_quota_falls_back_and_stays_identical(self):
+        from repro.core.tenancy import TenantQuota
+
+        spec = _workload(SEED + 4, n_requests=1200)
+        quotas = {"capped": TenantQuota(max_processes=2)}
+        ref_log, ref_done, _ = _run_tenant("lalbo3", False, spec, quotas)
+        fast_log, fast_done, fast_policy = _run_tenant("lalbo3", True, spec, quotas)
+        assert fast_log == ref_log
+        assert fast_done == ref_done
+        # a binding quota must send scans to the reference loops (whose
+        # per-request probes implement the refusals)
+        assert fast_policy.reference_scans > 0
+
+    def test_lb_policy_parity_under_quota(self):
+        from repro.core.tenancy import TenantQuota
+
+        spec = _workload(SEED + 5, n_requests=800)
+        for quota in (TenantQuota(max_processes=3), TenantQuota(max_processes=64)):
+            quotas = {"capped": quota}
+            ref_log, ref_done, _ = _run_tenant("lb", False, spec, quotas)
+            fast_log, fast_done, _ = _run_tenant("lb", True, spec, quotas)
+            assert fast_log == ref_log
+            assert fast_done == ref_done
+
+
 def test_o3_visits_identical_under_both_scans():
     """Spot-check the lazy visit accounting itself: with the same seeded
     workload, the distribution of recorded O3 visits must be identical —

@@ -131,9 +131,9 @@ class TestStateAndReporting:
         r = submit(system, make_request("fn-z", "alexnet"))
         system.run()
         rec = system.datastore.client().get(f"fn/latency/{r.request_id}")
-        assert rec["function"] == "fn-z"
-        assert rec["cache_hit"] is False
-        assert rec["latency_s"] == pytest.approx(2.81 + 1.25)
+        assert rec.function == "fn-z"
+        assert rec.cache_hit is False
+        assert rec.latency_s == pytest.approx(2.81 + 1.25)
 
     def test_busy_until_maintained(self, system, make_request):
         gpu0, gpu1 = system.cluster.gpus

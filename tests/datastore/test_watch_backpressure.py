@@ -1,0 +1,133 @@
+"""Watch-delivery backpressure: bounded per-watcher queues, drop-oldest.
+
+A delayed watcher built with ``max_pending=N`` may fall arbitrarily far
+behind the commit stream without growing the delivery backlog: commits
+queue in a bounded buffer drained by a single in-flight simulator event,
+and overflow drops the oldest undelivered batch (counted per watcher).
+"""
+
+import pytest
+
+from repro.datastore.client import Datastore
+from repro.sim import Simulator
+
+
+def _store(delay=1.0):
+    sim = Simulator()
+    return sim, Datastore(sim, watch_delay=delay)
+
+
+class TestBoundedDelivery:
+    def test_drop_oldest_when_queue_overflows(self):
+        sim, ds = _store()
+        got = []
+        w = ds.client().watch("k", got.append, prefix=True, coalesced=True, max_pending=2)
+        for i in range(5):
+            ds.kv.put("k/x", i)  # five commits before any delivery can run
+        sim.run()
+        # oldest three batches dropped; the last two delivered in order
+        assert [ev.value for batch in got for ev in batch] == [3, 4]
+        assert w.dropped_batches == 3
+        assert w.pending_batches == 0
+
+    def test_one_in_flight_drain_event_per_watcher(self):
+        sim, ds = _store()
+        got = []
+        ds.client().watch("k", got.append, prefix=True, coalesced=True, max_pending=8)
+        before = len(sim)
+        for _ in range(5):
+            ds.kv.put("k/x", "v")
+        # five commits queued, but only ONE delivery event was scheduled
+        assert len(sim) - before == 1
+        sim.run()
+        assert len(got) == 5
+
+    def test_unbounded_watcher_schedules_per_commit(self):
+        sim, ds = _store()
+        got = []
+        ds.client().watch("k", got.append, prefix=True, coalesced=True)
+        before = len(sim)
+        for _ in range(5):
+            ds.kv.put("k/x", "v")
+        assert len(sim) - before == 5  # the pre-backpressure behaviour
+        sim.run()
+        assert len(got) == 5
+
+    def test_no_drops_within_bound(self):
+        sim, ds = _store()
+        got = []
+        w = ds.client().watch("k", got.append, coalesced=True, max_pending=10)
+        for i in range(3):
+            ds.kv.put("k", i)
+        sim.run()
+        assert w.dropped_batches == 0
+        assert [ev.value for batch in got for ev in batch] == [0, 1, 2]
+
+    def test_commits_during_drain_schedule_fresh_drain(self):
+        sim, ds = _store()
+        got = []
+
+        def on_batch(batch):
+            got.append((sim.now, batch))
+            if len(got) == 1:
+                ds.kv.put("k", "from-watcher")  # commit issued mid-delivery
+
+        w = ds.client().watch("k", on_batch, coalesced=True, max_pending=4)
+        ds.kv.put("k", "first")
+        sim.run()
+        assert [ev.value for _, batch in got for ev in batch] == ["first", "from-watcher"]
+        # the mid-delivery commit must NOT be consumed by the in-flight
+        # drain at the same instant: it waits a full delivery delay
+        assert [t for t, _ in got] == [1.0, 2.0]
+        assert w.dropped_batches == 0
+
+    def test_self_retriggering_watcher_advances_the_clock(self):
+        """A bounded watcher whose callback always writes its own key must
+        chain deliveries one delay apart — never spin at one instant."""
+        sim, ds = _store()
+        times = []
+
+        def on_batch(batch):
+            times.append(sim.now)
+            if len(times) < 5:
+                ds.kv.put("k", len(times))
+
+        ds.client().watch("k", on_batch, coalesced=True, max_pending=2)
+        ds.kv.put("k", 0)
+        sim.run(max_events=100)
+        assert times == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_cancel_clears_queue(self):
+        sim, ds = _store()
+        got = []
+        w = ds.client().watch("k", got.append, coalesced=True, max_pending=4)
+        ds.kv.put("k", 1)
+        assert w.pending_batches == 1
+        w.cancel()
+        sim.run()
+        assert got == []
+        assert w.pending_batches == 0
+
+    def test_synchronous_delivery_never_queues(self):
+        sim, ds = _store(delay=0.0)
+        got = []
+        w = ds.client().watch("k", got.append, coalesced=True, max_pending=1)
+        for i in range(3):
+            ds.kv.put("k", i)
+        assert [ev.value for batch in got for ev in batch] == [0, 1, 2]
+        assert w.dropped_batches == 0
+
+    def test_max_pending_validated(self):
+        sim, ds = _store()
+        with pytest.raises(ValueError):
+            ds.client().watch("k", lambda e: None, max_pending=0)
+
+    def test_individual_event_watchers_also_bounded(self):
+        sim, ds = _store()
+        got = []
+        w = ds.client().watch("k", got.append, max_pending=1)  # not coalesced
+        ds.kv.put("k", "old")
+        ds.kv.put("k", "new")
+        sim.run()
+        assert [ev.value for ev in got] == ["new"]
+        assert w.dropped_batches == 1

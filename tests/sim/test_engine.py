@@ -200,3 +200,105 @@ def test_drain_yields_pending_events_without_firing():
     assert len(drained) == 1
     assert fired == []
     assert sim.step() is False
+
+
+class TestScheduleMany:
+    """Bulk injection must be bit-identical to a loop of schedule_at."""
+
+    def _fire_all(self, sim):
+        fired = []
+        probe = fired.append
+        return sim, fired, probe
+
+    def test_equivalent_to_loop_of_schedule_at(self):
+        times = [0.5, 1.0, 1.0, 2.5, 2.5, 7.0]
+        loop_sim, bulk_sim = Simulator(), Simulator()
+        loop_fired, bulk_fired = [], []
+        for i, t in enumerate(times):
+            loop_sim.schedule_at(t, loop_fired.append, (t, i))
+        bulk_sim.schedule_many(times, bulk_fired.append, (((t, i),) for i, t in enumerate(times)))
+        loop_sim.run()
+        bulk_sim.run()
+        assert bulk_fired == loop_fired
+        assert bulk_sim.now == loop_sim.now
+        assert bulk_sim.processed_events == loop_sim.processed_events
+
+    def test_same_instant_ties_keep_submission_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_many([1.0] * 10, fired.append, ((i,) for i in range(10)))
+        sim.run()
+        assert fired == list(range(10))
+
+    def test_unsorted_times_still_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_many([3.0, 1.0, 2.0], fired.append, ((t,) for t in (3.0, 1.0, 2.0)))
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_interleaves_with_previously_scheduled_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.5, fired.append, "old")
+        sim.schedule_many([1.0, 2.0], fired.append, (("a",), ("b",)))
+        sim.run()
+        assert fired == ["a", "old", "b"]
+
+    def test_without_args_seq(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_many([1.0, 2.0], lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [1.0, 2.0]
+
+    def test_returned_events_cancellable(self):
+        sim = Simulator()
+        fired = []
+        events = sim.schedule_many([1.0, 2.0, 3.0], fired.append, ((i,) for i in range(3)))
+        events[1].cancel()
+        assert len(sim) == 2
+        sim.run()
+        assert fired == [0, 2]
+
+    def test_validation_rolls_back_whole_batch(self):
+        sim = Simulator(start_time=5.0)
+        with pytest.raises(SimError):
+            sim.schedule_many([6.0, 4.0], lambda: None)  # 4.0 is in the past
+        assert len(sim) == 0
+        assert sim.step() is False
+
+    def test_length_mismatch_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule_many([1.0, 2.0], lambda x: None, [(1,)])
+
+    def test_large_presorted_column(self):
+        sim = Simulator()
+        fired = []
+        times = [i * 0.001 for i in range(5000)]
+        sim.schedule_many(times, fired.append, ((i,) for i in range(5000)))
+        sim.run()
+        assert fired == list(range(5000))
+
+
+class TestSlabRecycling:
+    def test_cancelled_slot_recycles_without_misfire(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(5.0, fired.append, "stale")
+        ev.cancel()
+        # the recycled slot is taken by a fresh event; the stale heap tuple
+        # must not resurrect it
+        sim.schedule(1.0, fired.append, "fresh")
+        sim.run()
+        assert fired == ["fresh"]
+        assert sim.processed_events == 1
+
+    def test_cancel_releases_payload_slot_immediately(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        slot = ev._slot
+        ev.cancel()
+        assert sim._slab[slot] is None
+        assert slot in sim._free
