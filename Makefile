@@ -1,7 +1,7 @@
 # Convenience targets for the conf_ipps_ZhaoJH23 reproduction.
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-check parity figures
+.PHONY: test bench bench-check parity figures sweep
 
 ## Tier-1 verification: the full unit/property/benchmark suite.
 test:
@@ -9,13 +9,17 @@ test:
 
 ## Scheduler perf trajectory: runs benchmarks/test_scheduler_overhead.py
 ## under pytest-benchmark, replays the §V-A workload end-to-end at
-## 2k/20k/100k requests, and writes BENCH_scheduler.json (committed, so
-## every PR is measured against the last).
+## 2k/20k/100k requests, measures the sweep orchestrator's grid scaling
+## at 1/2/4 workers (+ resume-from-store), and writes BENCH_scheduler.json
+## (committed, so every PR is measured against the last).
 bench:
 	python -m repro.experiments bench
 
 ## Gate the committed trajectory: fails when the 20k/2k pass-cost ratio
-## exceeds 3x or the batched path drifts from ~1 revision per action.
+## exceeds 3x, the batched path drifts from ~1 revision per action, the
+## sharded sweep's merged payload drifts from the sequential one, resume
+## of a completed sweep stops being served from the store in <1 s, or
+## (on >=2-core machines) the 4-worker grid speedup drops below 1.5x.
 bench-check:
 	python -m repro.experiments bench-check
 
@@ -23,6 +27,23 @@ bench-check:
 parity:
 	python -m pytest tests/core/test_decision_parity.py -q
 
-## Regenerate the paper's tables and figures.
+## Regenerate the paper's tables and figures through the sweep
+## orchestrator (WORKERS processes).  Figures always re-execute unless a
+## store is named explicitly on the command line (`make figures
+## SWEEP_STORE=dir`): cell IDs hash config, not code, so resuming from a
+## store left over from an older checkout would serve stale figures.
 figures:
-	python -m repro.experiments all
+	python -m repro.experiments all --workers $(WORKERS) $(if $(filter command line,$(origin SWEEP_STORE)),--store $(SWEEP_STORE))
+
+## Sharded §V sweep: expand the declarative policy x working-set grid and
+## run it on a multiprocess worker pool (repro/experiments/sweep.py).
+## Results persist under SWEEP_STORE (one JSON per cell, keyed by
+## content-hash cell ID; see repro/experiments/store.py for the layout),
+## so an interrupted sweep resumes with only the missing cells:
+##   make sweep                           # 4 workers, store .sweep-results
+##   make sweep WORKERS=8                 # wider pool
+##   make sweep SWEEP_STORE=/tmp/cells    # elsewhere
+WORKERS ?= 4
+SWEEP_STORE ?= .sweep-results
+sweep:
+	python -m repro.experiments sweep --workers $(WORKERS) --store $(SWEEP_STORE) --resume

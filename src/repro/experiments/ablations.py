@@ -8,7 +8,11 @@
 * :func:`run_gpu_scaling` — cluster-size sweep under fixed load.
 
 All runs share the deterministic trace/workload machinery of the main
-experiments.
+experiments.  The grid-shaped ablations (:func:`run_cache_policy_ablation`
+and :func:`run_gpu_scaling`) route through the sweep orchestrator and
+accept its ``workers``/``store``/``resume`` knobs; the Belady bound and
+batch-size sweep assemble their systems by hand (clairvoyant policy swap,
+non-default batch sizes) and stay on the direct path.
 """
 
 from __future__ import annotations
@@ -23,7 +27,7 @@ from ..runtime.config import SystemConfig
 from ..runtime.system import FaaSCluster
 from ..traces.azure import SyntheticAzureTrace
 from ..traces.workload import Workload, WorkloadSpec, build_workload
-from .runner import ExperimentConfig, run_experiment
+from .runner import ExperimentConfig, shared_trace
 
 __all__ = [
     "build_belady_oracle",
@@ -69,7 +73,7 @@ def run_belady_bound(
     Returns ``{"lru": ..., "belady": ...}``.  Belady needs the workload's
     future, so the system is assembled by hand around a shared workload.
     """
-    trace = trace or SyntheticAzureTrace()
+    trace = trace or shared_trace()
     out: dict[str, RunSummary] = {}
     for name in ("lru", "belady"):
         workload = build_workload(WorkloadSpec(working_set=working_set, seed=seed), trace=trace)
@@ -99,16 +103,28 @@ def run_cache_policy_ablation(
     *,
     working_set: int = 35,
     trace: SyntheticAzureTrace | None = None,
+    workers: int = 1,
+    store=None,
+    resume: bool = True,
+    progress=None,
 ) -> dict[str, RunSummary]:
     """LALBO3 under each pluggable replacement policy (§VI)."""
-    trace = trace or SyntheticAzureTrace()
-    return {
-        rp: run_experiment(
-            ExperimentConfig(policy="lalbo3", working_set=working_set, replacement=rp),
-            trace=trace,
+    from .sweep import SweepCell, run_keyed_cells
+
+    trace = trace or shared_trace()
+    cells = {
+        rp: SweepCell(
+            config=ExperimentConfig(
+                policy="lalbo3", working_set=working_set, replacement=rp
+            ),
+            trace=trace.config,
         )
         for rp in replacements
     }
+    return run_keyed_cells(
+        cells, trace=trace, workers=workers, store=store, resume=resume,
+        progress=progress,
+    )
 
 
 def run_batch_size_sweep(
@@ -124,7 +140,7 @@ def run_batch_size_sweep(
     *image* throughput — the classic trade-off behind the paper's choice of
     a fixed batch of 32.  Keyed by batch size.
     """
-    trace = trace or SyntheticAzureTrace()
+    trace = trace or shared_trace()
     out: dict[int, RunSummary] = {}
     for batch in batch_sizes:
         workload = build_workload(
@@ -149,15 +165,32 @@ def run_gpu_scaling(
     *,
     working_set: int = 25,
     trace: SyntheticAzureTrace | None = None,
+    workers: int = 1,
+    store=None,
+    resume: bool = True,
+    progress=None,
 ) -> dict[int, RunSummary]:
-    """Fixed 325 req/min load against growing clusters; keyed by GPU count."""
-    trace = trace or SyntheticAzureTrace()
-    out: dict[int, RunSummary] = {}
-    for nodes, per_node in sizes:
-        cfg = ExperimentConfig(
-            policy="lalbo3",
-            working_set=working_set,
-            cluster=ClusterSpec.homogeneous(nodes, per_node),
+    """Fixed 325 req/min load against growing clusters; keyed by GPU count.
+
+    The cluster topology is not a :class:`~repro.experiments.sweep.
+    SweepSpec` axis, but cells are arbitrary configs — the executor
+    shards any cell set.
+    """
+    from .sweep import SweepCell, run_keyed_cells
+
+    trace = trace or shared_trace()
+    cells = {
+        nodes * per_node: SweepCell(
+            config=ExperimentConfig(
+                policy="lalbo3",
+                working_set=working_set,
+                cluster=ClusterSpec.homogeneous(nodes, per_node),
+            ),
+            trace=trace.config,
         )
-        out[nodes * per_node] = run_experiment(cfg, trace=trace)
-    return out
+        for nodes, per_node in sizes
+    }
+    return run_keyed_cells(
+        cells, trace=trace, workers=workers, store=store, resume=resume,
+        progress=progress,
+    )

@@ -12,7 +12,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from ..traces.azure import SyntheticAzureTrace
-from .runner import ExperimentConfig, run_experiment
+from .runner import ExperimentConfig, shared_trace
 
 __all__ = ["MetricSpread", "run_multi_seed"]
 
@@ -49,14 +49,31 @@ def run_multi_seed(
     seeds: tuple[int, ...] = (0, 1, 2),
     *,
     trace: SyntheticAzureTrace | None = None,
+    workers: int = 1,
+    store=None,
+    resume: bool = True,
+    progress=None,
 ) -> dict[str, MetricSpread]:
-    """Run ``config`` once per seed and aggregate each headline metric."""
+    """Run ``config`` once per seed and aggregate each headline metric.
+
+    Seeds are independent cells, so they shard across the sweep
+    orchestrator's worker pool (``workers``/``store`` as in
+    :func:`~repro.experiments.runner.run_policy_grid`).
+    """
+    from .sweep import SweepCell, run_keyed_cells
+
     if len(seeds) < 2:
         raise ValueError("need at least two seeds for a spread")
-    trace = trace or SyntheticAzureTrace()
-    summaries = [
-        run_experiment(replace(config, seed=seed), trace=trace) for seed in seeds
-    ]
+    trace = trace or shared_trace()
+    cells = {
+        seed: SweepCell(config=replace(config, seed=seed), trace=trace.config)
+        for seed in seeds
+    }
+    by_seed = run_keyed_cells(
+        cells, trace=trace, workers=workers, store=store, resume=resume,
+        progress=progress,
+    )
+    summaries = [by_seed[seed] for seed in seeds]
     out: dict[str, MetricSpread] = {}
     for metric in _METRICS:
         values = tuple(float(getattr(s, metric)) for s in summaries)

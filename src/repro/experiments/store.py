@@ -1,0 +1,169 @@
+"""On-disk result store for the sweep orchestrator.
+
+Layout (everything under one *store root* directory)::
+
+    <root>/
+      store.meta.json          # {"store": "repro-sweep-results", "version": 1}
+      cells/<cell_id>.json     # one finished cell per file
+
+Each cell file is self-describing: the cell's canonical configuration
+payload (the same dict its content-hash ID was derived from), the full
+:class:`~repro.metrics.summary.RunSummary`, the per-architecture breakdown,
+and the timeline matrix sampled by the passive
+:class:`~repro.metrics.timeline.TimelineProbe`.  Files are written to a
+temporary name and atomically renamed into place, so a sweep killed
+mid-write never leaves a torn cell behind — whatever is in ``cells/`` is
+complete and trustworthy, which is what makes ``--resume`` a pure
+set-difference over cell IDs.
+
+Serialization is deterministic (``sort_keys=True``, ``repr``-faithful
+floats), so re-serializing an unchanged result is byte-identical — the
+property the sweep determinism tests (workers=1 vs. workers=N) assert.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from ..metrics.summary import RunSummary
+
+__all__ = ["CellResult", "ResultStore", "StoreVersionError", "STORE_VERSION"]
+
+#: bump when the cell-file layout changes incompatibly
+STORE_VERSION = 1
+
+_META_NAME = "store.meta.json"
+_CELLS_DIR = "cells"
+_STORE_KIND = "repro-sweep-results"
+
+
+class StoreVersionError(RuntimeError):
+    """The store on disk was written by an incompatible layout version."""
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Everything the sweep persists for one finished experiment cell."""
+
+    cell_id: str
+    #: canonical configuration payload the cell ID hashes (experiment +
+    #: trace + timeline period + schema version) — self-describing on disk
+    config: dict
+    summary: RunSummary
+    #: :func:`~repro.metrics.summary.per_architecture_breakdown` output
+    per_architecture: dict
+    #: :data:`~repro.metrics.timeline.TIMELINE_FIELDS` column names
+    timeline_fields: tuple
+    #: one row per sampled period boundary (empty when sampling is off)
+    timeline: tuple
+    #: wall-clock seconds the cell took to execute (provenance only; it is
+    #: excluded from merged figure data so cached and fresh runs merge
+    #: byte-identically)
+    wall_s: float = 0.0
+
+    def to_payload(self) -> dict:
+        """JSON-ready dict (the exact on-disk cell-file content)."""
+        return {
+            "version": STORE_VERSION,
+            "cell_id": self.cell_id,
+            "config": self.config,
+            "summary": asdict(self.summary),
+            "per_architecture": self.per_architecture,
+            "timeline": {
+                "fields": list(self.timeline_fields),
+                "rows": [list(row) for row in self.timeline],
+            },
+            "wall_s": self.wall_s,
+        }
+
+    @staticmethod
+    def from_payload(payload: dict) -> "CellResult":
+        version = payload.get("version")
+        if version != STORE_VERSION:
+            raise StoreVersionError(
+                f"cell file version {version!r} != supported {STORE_VERSION}"
+            )
+        timeline = payload.get("timeline") or {"fields": [], "rows": []}
+        return CellResult(
+            cell_id=payload["cell_id"],
+            config=payload["config"],
+            summary=RunSummary(**payload["summary"]),
+            per_architecture=payload["per_architecture"],
+            timeline_fields=tuple(timeline["fields"]),
+            timeline=tuple(tuple(row) for row in timeline["rows"]),
+            wall_s=float(payload.get("wall_s", 0.0)),
+        )
+
+
+def _dumps(payload: dict) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+class ResultStore:
+    """Directory of finished sweep cells keyed by content-hash cell ID."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self._cells = self.root / _CELLS_DIR
+        self._cells.mkdir(parents=True, exist_ok=True)
+        meta_path = self.root / _META_NAME
+        if meta_path.exists():
+            meta = json.loads(meta_path.read_text())
+            if meta.get("store") != _STORE_KIND:
+                raise StoreVersionError(f"{self.root} is not a sweep result store")
+            if meta.get("version") != STORE_VERSION:
+                raise StoreVersionError(
+                    f"store version {meta.get('version')!r} != supported "
+                    f"{STORE_VERSION}; use a fresh --store directory"
+                )
+        else:
+            self._atomic_write(
+                meta_path, _dumps({"store": _STORE_KIND, "version": STORE_VERSION})
+            )
+
+    # ------------------------------------------------------------------
+    def path(self, cell_id: str) -> Path:
+        return self._cells / f"{cell_id}.json"
+
+    def __contains__(self, cell_id: str) -> bool:
+        return self.path(cell_id).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._cells.glob("*.json"))
+
+    def cell_ids(self) -> list[str]:
+        """IDs of every finished cell, sorted (the merge order)."""
+        return sorted(p.stem for p in self._cells.glob("*.json"))
+
+    # ------------------------------------------------------------------
+    def get(self, cell_id: str) -> CellResult | None:
+        path = self.path(cell_id)
+        if not path.exists():
+            return None
+        return CellResult.from_payload(json.loads(path.read_text()))
+
+    def put(self, result: CellResult) -> Path:
+        """Persist one cell atomically (tmp file + rename)."""
+        path = self.path(result.cell_id)
+        self._atomic_write(path, _dumps(result.to_payload()))
+        return path
+
+    # ------------------------------------------------------------------
+    def _atomic_write(self, path: Path, text: str) -> None:
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{path.stem}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

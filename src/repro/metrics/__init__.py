@@ -2,12 +2,14 @@
 
 from .collector import MetricsCollector
 from .summary import RunSummary, summarize
-from .timeline import TimelineSample, TimelineSampler
+from .timeline import TIMELINE_FIELDS, TimelineProbe, TimelineSample, TimelineSampler
 
 __all__ = [
     "MetricsCollector",
     "RunSummary",
     "summarize",
+    "TIMELINE_FIELDS",
+    "TimelineProbe",
     "TimelineSample",
     "TimelineSampler",
 ]

@@ -11,6 +11,15 @@ and each snapshot reads the collector's running counters, so a snapshot is
 O(GPUs) — the seed rescanned the completed-request list per tick, which
 made sampling quadratic over a long run.  :attr:`TimelineSampler.samples`
 materializes :class:`TimelineSample` objects lazily for drill-down.
+
+:class:`TimelineProbe` is the sampler's *passive* sibling, built for the
+sweep orchestrator (:mod:`repro.experiments.sweep`): it rides the
+simulator's post-event hook and records one row whenever the clock crosses
+a period boundary, injecting **no events of its own**.  A probed run's
+event stream — and therefore its DecisionLog, metrics, and final clock —
+is identical to an unprobed one, and a drain-to-empty ``run()`` still
+terminates (a :class:`~repro.sim.PeriodicTimer` would reschedule itself
+forever).
 """
 
 from __future__ import annotations
@@ -22,7 +31,7 @@ import numpy as np
 from ..cluster.gpu import GPUState
 from ..sim import PeriodicTimer
 
-__all__ = ["TimelineSample", "TimelineSampler"]
+__all__ = ["TimelineSample", "TimelineSampler", "TimelineProbe", "TIMELINE_FIELDS"]
 
 _FIELDS = (
     "time_s",
@@ -36,6 +45,34 @@ _FIELDS = (
 )
 _FIELD_INDEX = {name: i for i, name in enumerate(_FIELDS)}
 _INT_FIELDS = frozenset(_FIELDS[1:])
+
+#: public row schema shared by :class:`TimelineSampler` and
+#: :class:`TimelineProbe` (and persisted per cell by the sweep store)
+TIMELINE_FIELDS = _FIELDS
+
+
+def _capture_row(system, time_s: float) -> tuple:
+    """One snapshot row of the shared schema, stamped at ``time_s``."""
+    idle = loading = inferring = 0
+    for g in system.cluster.gpus:
+        state = g.state
+        if state is GPUState.IDLE:
+            idle += 1
+        elif state is GPUState.LOADING:
+            loading += 1
+        elif state is GPUState.INFERRING:
+            inferring += 1
+    metrics = system.metrics
+    return (
+        time_s,
+        len(system.scheduler.global_queue),
+        system.scheduler.local_queues.total(),
+        idle,
+        loading,
+        inferring,
+        metrics.completed_count,   # running counters: O(1) instead of
+        metrics.miss_count,        # rescanning the completed list
+    )
 
 
 @dataclass(frozen=True)
@@ -84,31 +121,12 @@ class TimelineSampler:
     # ------------------------------------------------------------------
     def _snapshot(self) -> None:
         system = self.system
-        idle = loading = inferring = 0
-        for g in system.cluster.gpus:
-            state = g.state
-            if state is GPUState.IDLE:
-                idle += 1
-            elif state is GPUState.LOADING:
-                loading += 1
-            elif state is GPUState.INFERRING:
-                inferring += 1
-        metrics = system.metrics
         i = self._n
         if i == len(self._buf):
             grown = np.empty((2 * len(self._buf), len(_FIELDS)), dtype=np.float64)
             grown[:i] = self._buf
             self._buf = grown
-        self._buf[i] = (
-            system.sim.now,
-            len(system.scheduler.global_queue),
-            system.scheduler.local_queues.total(),
-            idle,
-            loading,
-            inferring,
-            metrics.completed_count,   # running counters: O(1) instead of
-            metrics.miss_count,        # rescanning the completed list
-        )
+        self._buf[i] = _capture_row(system, system.sim.now)
         self._n = i + 1
 
     # ------------------------------------------------------------------
@@ -164,3 +182,59 @@ class TimelineSampler:
                 d[name] = int(row[_FIELD_INDEX[name]])
             out.append(d)
         return out
+
+
+class TimelineProbe:
+    """Event-driven timeline sampler that perturbs nothing.
+
+    Registered on the simulator's post-event hook: after every event the
+    probe checks whether the clock crossed one or more period boundaries
+    and, if so, records one row per boundary (stamped at the boundary time,
+    reading the state at the first event at-or-after it).  Because no sim
+    events are injected, the probed run is bit-identical to an unprobed
+    one — which is what lets the sweep orchestrator persist a timeline
+    matrix for every cell while still guaranteeing byte-identical
+    summaries between probed (sweep) and direct (:func:`~repro.
+    experiments.runner.run_experiment`) execution.
+
+    The row schema is :data:`TIMELINE_FIELDS`, shared with
+    :class:`TimelineSampler`.
+    """
+
+    def __init__(self, system, *, period_s: float = 5.0) -> None:
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        self.system = system
+        self.period_s = period_s
+        self._rows: list[tuple] = []
+        self._next = system.sim.now + period_s
+        self._unsubscribe = system.sim.subscribe_post_event(self._on_event)
+
+    def _on_event(self) -> None:
+        now = self.system.sim.now
+        while now >= self._next:
+            self._rows.append(_capture_row(self.system, self._next))
+            self._next += self.period_s
+
+    def stop(self) -> None:
+        """Detach from the simulator (idempotent)."""
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def fields(self) -> tuple[str, ...]:
+        return TIMELINE_FIELDS
+
+    def matrix(self) -> list[list[float]]:
+        """Rows as plain floats (JSON-ready; one list per sample)."""
+        return [[float(v) for v in row] for row in self._rows]
+
+    def to_numpy(self) -> np.ndarray:
+        """Rows as one ``(samples, fields)`` float64 matrix."""
+        if not self._rows:
+            return np.empty((0, len(_FIELDS)), dtype=np.float64)
+        return np.asarray(self._rows, dtype=np.float64)

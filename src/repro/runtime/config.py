@@ -32,6 +32,13 @@ class SystemConfig:
     #: puts commit as one transaction → one revision → one coalesced watch
     #: batch (False restores the literal one-revision-per-put path)
     datastore_batching: bool = True
+    #: auto-compact the Datastore's MVCC history below a sliding revision
+    #: horizon of this many revisions (etcd's ``--auto-compaction``
+    #: analogue): the KV event log and per-key history stay bounded on
+    #: 1M+-request replays instead of retaining every historical write.
+    #: None (default) keeps full history.  Compaction never touches live
+    #: keys, so scheduling decisions are unaffected.
+    kv_autocompact_keep: int | None = None
     #: per-tenant quotas (empty = no isolation limits)
     quotas: dict[str, TenantQuota] = field(default_factory=dict)
     #: master seed for all stochastic elements
@@ -44,3 +51,5 @@ class SystemConfig:
             raise ValueError("o3_limit cannot be negative")
         if self.watch_delay_s < 0:
             raise ValueError("watch_delay_s cannot be negative")
+        if self.kv_autocompact_keep is not None and self.kv_autocompact_keep < 1:
+            raise ValueError("kv_autocompact_keep must be >= 1 when set")

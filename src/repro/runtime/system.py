@@ -102,6 +102,22 @@ class FaaSCluster:
         # they would against the unbatched write path
         self.datastore.flush()
 
+        if self.config.kv_autocompact_keep is not None:
+            # sliding-horizon history compaction (etcd --auto-compaction
+            # analogue): once more than 2×keep revisions of history have
+            # accumulated, discard everything below revision - keep.  The
+            # hook runs after the flush hook (registration order), so it
+            # only ever sees committed state; hysteresis at 2×keep keeps
+            # the O(keys) compaction walk off the per-event path.
+            keep = self.config.kv_autocompact_keep
+            kv = self.datastore.kv
+
+            def _autocompact() -> None:
+                if kv.revision - kv.compacted_revision > 2 * keep:
+                    kv.compact(kv.revision - keep)
+
+            self.sim.subscribe_post_event(_autocompact)
+
     # ------------------------------------------------------------------
     # Wiring callbacks
     # ------------------------------------------------------------------

@@ -1,0 +1,320 @@
+"""Sweep orchestrator: determinism, resume, crash isolation, store round-trip.
+
+The contract under test (ISSUE 4 / ROADMAP "sharded replay driver"):
+
+* sharded execution is invisible in the results — workers=1 and workers=4
+  produce **byte-identical** merged payloads and figure data;
+* the result store makes sweeps resumable — an interrupted sweep re-executes
+  only the missing cells and completes with identical output;
+* a crashing worker process is retried per-cell instead of killing the
+  sweep;
+* routing the §V consumers through the executor changed nothing: the
+  workers=1 grid equals a direct ``run_experiment`` loop, summary for
+  summary.
+"""
+
+import json
+import multiprocessing
+import os
+import shutil
+from dataclasses import replace
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.experiments import (
+    ExperimentConfig,
+    ResultStore,
+    SweepCell,
+    SweepSpec,
+    execute_cell,
+    run_cells,
+    run_experiment,
+    run_policy_grid,
+)
+from repro.experiments import sweep as sweep_mod
+from repro.experiments.sweep import SweepError
+from repro.traces import AzureTraceConfig, SyntheticAzureTrace
+
+#: small but non-trivial: enough requests to produce hits, misses, and a
+#: multi-row timeline in well under a second per cell
+TRACE_CFG = AzureTraceConfig(num_functions=200, mean_rate_per_minute=1500, seed=17)
+TRACE = SyntheticAzureTrace(TRACE_CFG)
+BASE = ExperimentConfig(
+    minutes=1, requests_per_minute=40, cluster=ClusterSpec.homogeneous(1, 3)
+)
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def _grid_cells(policies=("lb", "lalb", "lalbo3"), working_sets=(4, 6)):
+    return [
+        SweepCell(
+            config=replace(BASE, policy=p, working_set=ws), trace=TRACE_CFG
+        )
+        for ws in working_sets
+        for p in policies
+    ]
+
+
+class TestCellIdentity:
+    def test_stable_and_content_addressed(self):
+        a = SweepCell(config=replace(BASE, policy="lalb"), trace=TRACE_CFG)
+        b = SweepCell(config=replace(BASE, policy="lalb"), trace=TRACE_CFG)
+        assert a.cell_id == b.cell_id
+        assert len(a.cell_id) == 16
+
+    def test_any_config_drift_changes_the_id(self):
+        base = SweepCell(config=BASE, trace=TRACE_CFG)
+        assert SweepCell(config=replace(BASE, seed=1), trace=TRACE_CFG).cell_id != base.cell_id
+        assert SweepCell(config=BASE, trace=AzureTraceConfig(seed=1)).cell_id != base.cell_id
+        assert (
+            SweepCell(config=BASE, trace=TRACE_CFG, timeline_period_s=1.0).cell_id
+            != base.cell_id
+        )
+
+    def test_spec_expansion_folds_o3_duplicates(self):
+        spec = SweepSpec(
+            policies=("lb", "lalbo3"), working_sets=(15,), o3_limits=(5, 25)
+        )
+        cells = spec.cells()
+        # lb ignores the O3 axis: 1 lb cell + 2 lalbo3 cells
+        assert len(cells) == 3
+        assert len({c.cell_id for c in cells}) == 3
+
+
+class TestStore:
+    def test_cell_result_roundtrip(self, tmp_path):
+        cell = SweepCell(config=replace(BASE, working_set=4), trace=TRACE_CFG)
+        result = execute_cell(cell, trace=TRACE)
+        store = ResultStore(tmp_path / "store")
+        store.put(result)
+        loaded = store.get(cell.cell_id)
+        assert loaded is not None
+        assert loaded.summary == result.summary
+        assert loaded.per_architecture == result.per_architecture
+        assert loaded.timeline_fields == result.timeline_fields
+        assert loaded.timeline == result.timeline
+        assert loaded.config == cell.canonical_payload()
+
+    def test_reserialization_is_byte_identical(self, tmp_path):
+        cell = SweepCell(config=replace(BASE, working_set=4), trace=TRACE_CFG)
+        result = execute_cell(cell, trace=TRACE)
+        store = ResultStore(tmp_path / "store")
+        path = store.put(result)
+        first = path.read_bytes()
+        store.put(store.get(cell.cell_id))
+        assert path.read_bytes() == first
+
+    def test_version_guard(self, tmp_path):
+        root = tmp_path / "store"
+        ResultStore(root)
+        meta = root / "store.meta.json"
+        meta.write_text(json.dumps({"store": "repro-sweep-results", "version": 99}))
+        from repro.experiments.store import StoreVersionError
+
+        with pytest.raises(StoreVersionError):
+            ResultStore(root)
+
+    def test_timeline_matrix_shape(self):
+        cell = SweepCell(
+            config=replace(BASE, working_set=4), trace=TRACE_CFG, timeline_period_s=10.0
+        )
+        result = execute_cell(cell, trace=TRACE)
+        # boundaries are only recorded when an event crosses them, so the
+        # count is (last event time // period), not a fixed number
+        assert len(result.timeline) >= 4  # ~60 s of activity / 10 s period
+        assert all(len(row) == len(result.timeline_fields) for row in result.timeline)
+        times = [row[0] for row in result.timeline]
+        assert times == sorted(times)
+        completed = [row[result.timeline_fields.index("completed_requests")]
+                     for row in result.timeline]
+        assert completed == sorted(completed)
+        assert completed[-1] <= result.summary.completed_requests
+
+
+class TestExecutorParity:
+    def test_execute_cell_matches_run_experiment(self):
+        cfg = replace(BASE, policy="lalbo3", working_set=6)
+        direct = run_experiment(cfg, trace=TRACE)
+        via_cell = execute_cell(SweepCell(config=cfg, trace=TRACE_CFG), trace=TRACE)
+        assert via_cell.summary == direct
+
+    def test_policy_grid_matches_direct_loop(self):
+        grid = run_policy_grid(
+            (4, 6), ("lb", "lalb"), base=BASE, trace=TRACE, progress=False
+        )
+        for (policy, ws), summary in grid.items():
+            direct = run_experiment(
+                replace(BASE, policy=policy, working_set=ws), trace=TRACE
+            )
+            assert summary == direct
+
+
+class TestShardingDeterminism:
+    def test_workers_1_vs_4_byte_identical(self, tmp_path):
+        cells = _grid_cells()
+        seq = run_cells(cells, workers=1, store=tmp_path / "seq", progress=False)
+        par = run_cells(cells, workers=4, store=tmp_path / "par", progress=False)
+        assert seq.merged_json() == par.merged_json()
+        assert list(seq.cells) == sorted(c.cell_id for c in cells)
+        # figure data (the summaries the fig tables read) identical too
+        for cell in cells:
+            assert seq.summary_for(cell) == par.summary_for(cell)
+        assert par.stats.executed == len(cells)
+
+    def test_interrupted_sweep_resumes_with_identical_output(self, tmp_path):
+        cells = _grid_cells()
+        full_store = tmp_path / "full"
+        reference = run_cells(cells, workers=1, store=full_store, progress=False)
+
+        # an interrupted sweep == a store holding only the cells that
+        # finished before the kill (writes are atomic, so nothing torn)
+        partial_store = tmp_path / "partial"
+        ResultStore(partial_store)
+        survivors = sorted(c.cell_id for c in cells)[: len(cells) // 2]
+        for cid in survivors:
+            shutil.copy(
+                ResultStore(full_store).path(cid), ResultStore(partial_store).path(cid)
+            )
+        resumed = run_cells(cells, workers=2, store=partial_store, progress=False)
+        assert resumed.stats.cache_hits == len(survivors)
+        assert resumed.stats.executed == len(cells) - len(survivors)
+        assert resumed.merged_json() == reference.merged_json()
+
+    def test_fig5_grid_workers_parity_paper_scale(self, tmp_path):
+        """The satellite's literal contract: workers=1 vs workers=4 over
+        the fig-5 grid yield byte-identical merged summaries and figure
+        data (paper-scale cells, ~2 s per run)."""
+        from repro.experiments import format_fig5
+        from repro.experiments.fig5 import run_fig5
+
+        g1 = run_fig5(workers=1, store=tmp_path / "seq", progress=False)
+        g4 = run_fig5(workers=4, store=tmp_path / "par", progress=False)
+        assert g1 == g4
+        assert format_fig5(g1) == format_fig5(g4)
+        # the stored cells agree byte-for-byte modulo execution provenance
+        seq, par = ResultStore(tmp_path / "seq"), ResultStore(tmp_path / "par")
+        assert seq.cell_ids() == par.cell_ids()
+        for cid in seq.cell_ids():
+            a, b = seq.get(cid).to_payload(), par.get(cid).to_payload()
+            a.pop("wall_s"), b.pop("wall_s")
+            assert a == b
+
+    def test_completed_sweep_resumes_without_executing(self, tmp_path):
+        cells = _grid_cells(working_sets=(4,))
+        store = tmp_path / "store"
+        run_cells(cells, workers=1, store=store, progress=False)
+        again = run_cells(cells, workers=1, store=store, progress=False)
+        assert again.stats.executed == 0
+        assert again.stats.cache_hits == len(cells)
+
+    def test_no_resume_reexecutes(self, tmp_path):
+        cells = _grid_cells(working_sets=(4,), policies=("lb",))
+        store = tmp_path / "store"
+        run_cells(cells, workers=1, store=store, progress=False)
+        again = run_cells(cells, workers=1, store=store, resume=False, progress=False)
+        assert again.stats.executed == len(cells)
+
+
+class TestCrashIsolation:
+    def test_failing_cell_raises_sweep_error_with_detail(self, monkeypatch, tmp_path):
+        cells = _grid_cells(working_sets=(4,))
+
+        def explode(cell):
+            if cell.config.policy == "lalb":
+                raise RuntimeError("injected failure")
+
+        monkeypatch.setattr(sweep_mod, "_FAULT_HOOK", explode)
+        if not HAVE_FORK:
+            pytest.skip("fault hook needs fork inheritance")
+        with pytest.raises(SweepError, match="injected failure"):
+            run_cells(
+                cells, workers=2, store=tmp_path / "s", retries=0,
+                progress=False, mp_context="fork",
+            )
+        # the healthy cells still landed in the store
+        assert len(ResultStore(tmp_path / "s")) == len(cells) - 1
+
+    def test_transient_failure_is_retried(self, monkeypatch, tmp_path):
+        if not HAVE_FORK:
+            pytest.skip("fault hook needs fork inheritance")
+        cells = _grid_cells(working_sets=(4,))
+        flag = tmp_path / "fail-once"
+        flag.touch()
+
+        def fail_once(cell):
+            try:
+                os.unlink(flag)  # atomic: only one worker wins the failure
+            except FileNotFoundError:
+                return
+            raise RuntimeError("transient")
+
+        monkeypatch.setattr(sweep_mod, "_FAULT_HOOK", fail_once)
+        result = run_cells(
+            cells, workers=2, store=tmp_path / "s", retries=1,
+            progress=False, mp_context="fork",
+        )
+        assert len(result.cells) == len(cells)
+        assert result.stats.retries == 1
+
+    def test_worker_process_crash_is_survived(self, monkeypatch, tmp_path):
+        if not HAVE_FORK:
+            pytest.skip("fault hook needs fork inheritance")
+        cells = _grid_cells(working_sets=(4,))
+        flag = tmp_path / "crash-once"
+        flag.touch()
+
+        def crash_once(cell):
+            try:
+                os.unlink(flag)
+            except FileNotFoundError:
+                return
+            os._exit(13)  # hard kill: exercises BrokenProcessPool recovery
+
+        monkeypatch.setattr(sweep_mod, "_FAULT_HOOK", crash_once)
+        result = run_cells(
+            cells, workers=2, store=tmp_path / "s", retries=2,
+            progress=False, mp_context="fork",
+        )
+        assert len(result.cells) == len(cells)
+        assert result.stats.retries >= 1
+
+
+    def test_poison_cell_fails_alone_without_charging_healthy_cells(
+        self, monkeypatch, tmp_path
+    ):
+        """A cell that crashes its worker *every* time must eventually be
+        failed in isolation (solo mode) — while every healthy cell that
+        shared the pool with it completes, uncharged."""
+        if not HAVE_FORK:
+            pytest.skip("fault hook needs fork inheritance")
+        cells = _grid_cells(working_sets=(4,))
+
+        def always_crash(cell):
+            if cell.config.policy == "lalb":
+                os._exit(13)
+
+        monkeypatch.setattr(sweep_mod, "_FAULT_HOOK", always_crash)
+        result = run_cells(
+            cells, workers=2, store=tmp_path / "s", retries=1,
+            progress=False, mp_context="fork", strict=False,
+        )
+        poison = [c for c in cells if c.config.policy == "lalb"]
+        assert len(poison) == 1
+        assert list(result.failures) == [poison[0].cell_id]
+        assert result.failures[poison[0].cell_id] == "worker process crashed"
+        assert len(result.cells) == len(cells) - 1
+        assert len(ResultStore(tmp_path / "s")) == len(cells) - 1
+
+
+class TestWorkloadSharing:
+    def test_cached_workload_views_are_independent(self):
+        """Two runs off one cached column set must not share request
+        objects (the simulator mutates them in place)."""
+        cell = SweepCell(config=replace(BASE, working_set=4), trace=TRACE_CFG)
+        first = execute_cell(cell, trace=TRACE)
+        second = execute_cell(cell, trace=TRACE)
+        assert first.summary == second.summary
+        assert first.per_architecture == second.per_architecture
+        assert first.timeline == second.timeline
