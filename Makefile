@@ -1,7 +1,7 @@
 # Convenience targets for the conf_ipps_ZhaoJH23 reproduction.
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-check parity figures sweep
+.PHONY: test bench bench-check parity profile figures sweep
 
 ## Tier-1 verification: the full unit/property/benchmark suite.
 test:
@@ -26,6 +26,15 @@ bench-check:
 ## Fast-path/reference decision parity only (quick hot-path sanity).
 parity:
 	python -m pytest tests/core/test_decision_parity.py -q
+
+## cProfile the 2k-request §V-A replay and print the top-25 functions by
+## cumulative time — the tool that found every hot spot so far (index
+## scans, batched txns, columnar replay, pass elision).
+##   make profile                          # 2k requests
+##   make profile PROFILE_REQUESTS=20000   # deeper replay
+PROFILE_REQUESTS ?= 2000
+profile:
+	python -m repro.experiments profile --profile-requests $(PROFILE_REQUESTS)
 
 ## Regenerate the paper's tables and figures through the sweep
 ## orchestrator (WORKERS processes).  Figures always re-execute unless a

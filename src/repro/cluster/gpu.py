@@ -79,8 +79,12 @@ class GPUDevice:
         self.is_online = True
         self._processes: dict[str, GPUProcess] = {}  # model_instance -> process
         self._used_mb = 0.0
+        # keyed by the state value strings, read via the enum's _value_
+        # slot: interned-string hashing is C-level, while both Enum.value
+        # (a DynamicClassAttribute) and Enum.__hash__ are Python-level —
+        # this runs on every busy/idle transition
         self._intervals = IntervalAccumulator(sim)
-        self._intervals.start(GPUState.IDLE.value)
+        self._intervals.start(GPUState.IDLE._value_)
         self._completed_requests = 0
         #: observer called on every state or completion-count change; the
         #: Cluster uses it to keep its idle/busy views incremental
@@ -201,7 +205,7 @@ class GPUDevice:
         self._set_state(to)
 
     def _set_state(self, to: GPUState) -> None:
-        self._intervals.switch(to.value)
+        self._intervals.switch(to._value_)
         self.state = to
         self.is_idle = to is GPUState.IDLE
         self.is_busy = not self.is_idle
@@ -213,7 +217,7 @@ class GPUDevice:
     # SM-utilization accounting (paper §V-C)
     # ------------------------------------------------------------------
     def time_in(self, state: GPUState) -> float:
-        return self._intervals.total(state.value)
+        return self._intervals.total(state._value_)
 
     def sm_utilization(self, horizon: float | None = None) -> float:
         """Fraction of elapsed time the SMs were executing inference.
@@ -222,7 +226,7 @@ class GPUDevice:
         remains zero until the victim model becomes evicted and the new
         model is uploaded" (§V-C).
         """
-        return self._intervals.fraction(GPUState.INFERRING.value, horizon)
+        return self._intervals.fraction(GPUState.INFERRING._value_, horizon)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 
 from ..sim import Simulator
@@ -57,6 +58,24 @@ class Cluster:
     lazily only when stale.  The schedulers' per-pass "any idle GPU?"
     probes therefore stop re-scanning every device.  Returned lists are
     cache snapshots — callers must not mutate them.
+
+    Dirty-signal layer (pass elision)
+    --------------------------------
+    Beyond the lazily rebuilt views the cluster publishes its **idle-set
+    delta** directly:
+
+    * :attr:`idle_count` is maintained on every transition, so "is any
+      GPU idle?" is one attribute load — the guard the scheduling engine
+      consults before every would-be pass;
+    * the frequency-ordered idle view (Alg. 1's "sorted by use
+      frequency") is updated *incrementally*: a dispatch removes one GPU
+      from the sorted list and a completion re-inserts one at its new
+      frequency rank, replacing the old rebuild-and-sort on every state
+      change.  The order is identical to
+      ``sorted(idle, key=lambda g: (-g.completed_requests, g.gpu_id))``
+      by construction: a GPU is re-filed on the rare occasions its key
+      changes while listed (a completion bump landing after
+      ``become_idle``), and its filed key makes removal exact.
     """
 
     def __init__(self, sim: Simulator, nodes: list[GPUNode]) -> None:
@@ -68,17 +87,58 @@ class Cluster:
             raise ValueError("duplicate GPU ids in cluster")
         self._node_of = {g.gpu_id: node for node in nodes for g in node.gpus}
         #: monotone counter of GPU state/frequency changes; consumers key
-        #: their own cached views off it (see Scheduler.idle_gpus_by_frequency)
+        #: their own cached views off it (see idle_gpus/busy_gpus below)
         self.version = 0
+        #: number of currently idle GPUs (exact, O(1) to read)
+        self.idle_count = 0
         self._idle_version = -1
         self._idle_cache: list[GPUDevice] = []
         self._busy_version = -1
         self._busy_cache: list[GPUDevice] = []
+        # frequency-ordered idle view: parallel (key, device) lists kept
+        # sorted by (-completed_requests, gpu_id), plus the key each idle
+        # GPU is filed under (doubles as the idle-membership record, and
+        # stays exact when a completion count moves after insertion)
+        self._freq_keys: list[tuple[int, str]] = []
+        self._freq_gpus: list[GPUDevice] = []
+        self._freq_key_of: dict[str, tuple[int, str]] = {}
         for g in self.gpus:
             g.on_change = self._on_gpu_change
+            if g.is_idle:
+                self._freq_insert(g)
+
+    def _freq_insert(self, gpu: GPUDevice) -> None:
+        key = (-gpu.completed_requests, gpu.gpu_id)
+        i = bisect_left(self._freq_keys, key)
+        self._freq_keys.insert(i, key)
+        self._freq_gpus.insert(i, gpu)
+        self._freq_key_of[gpu.gpu_id] = key
+        self.idle_count += 1
+
+    def _freq_remove(self, key: tuple[int, str]) -> None:
+        # remove by the key the GPU was *filed* under: exact even when its
+        # live completion count has moved on since insertion
+        i = bisect_left(self._freq_keys, key)
+        del self._freq_keys[i]
+        del self._freq_gpus[i]
+        self.idle_count -= 1
 
     def _on_gpu_change(self, gpu: GPUDevice) -> None:
         self.version += 1
+        gpu_id = gpu.gpu_id
+        filed = self._freq_key_of.get(gpu_id)
+        if gpu.is_idle:
+            if filed is None:
+                self._freq_insert(gpu)
+            elif filed[0] != -gpu.completed_requests:
+                # frequency changed while idle (a completion bump landing
+                # after become_idle): re-file at the new rank
+                del self._freq_key_of[gpu_id]
+                self._freq_remove(filed)
+                self._freq_insert(gpu)
+        elif filed is not None:
+            del self._freq_key_of[gpu_id]
+            self._freq_remove(filed)
 
     def gpu(self, gpu_id: str) -> GPUDevice:
         return self._by_id[gpu_id]
@@ -91,6 +151,17 @@ class Cluster:
             self._idle_cache = [g for g in self.gpus if g.is_idle]
             self._idle_version = self.version
         return self._idle_cache
+
+    def idle_gpus_by_frequency(self) -> list[GPUDevice]:
+        """Idle GPUs, most-used first (Alg. 1's "sorted by frequency").
+
+        Frequency is the number of requests the GPU has completed; ties
+        break on gpu_id for determinism.  Maintained incrementally from
+        the idle-set delta; each call returns a fresh snapshot *copy*
+        because the scheduling passes dispatch (and so shrink the live
+        view) while iterating it.
+        """
+        return self._freq_gpus.copy()
 
     def busy_gpus(self) -> list[GPUDevice]:
         if self._busy_version != self.version:

@@ -26,6 +26,7 @@ from .replacement import (
 )
 from .request import InferenceRequest, RequestState
 from .scheduler import Scheduler
+from .signals import DispatchableWorkGuard, IdleLocalWorkIndex, PassGuard
 from .tenancy import TenancyController, TenantQuota
 
 __all__ = [
@@ -54,6 +55,9 @@ __all__ = [
     "InferenceRequest",
     "RequestState",
     "Scheduler",
+    "DispatchableWorkGuard",
+    "IdleLocalWorkIndex",
+    "PassGuard",
     "TenancyController",
     "TenantQuota",
 ]

@@ -73,7 +73,7 @@ class CacheManager:
                 f"gpu/lru/{g.gpu_id}",
                 # late-bound through _policies: ablations swap the policy
                 # objects after construction (Belady oracle)
-                lambda gid=g.gpu_id: tuple(self._policies[gid].eviction_order()),
+                lambda gid=g.gpu_id: self._policies[gid].eviction_order_tuple(),
             )
             for g in gpus
         }
@@ -160,9 +160,20 @@ class CacheManager:
         self._emit("evict", gpu_id, model_id)
 
     def on_used(self, gpu_id: str, model_id: str) -> None:
-        """An inference on ``gpu_id`` reused the cached model (LRU touch)."""
-        self._policies[gpu_id].on_access(model_id, self.sim.now)
-        self._publish(gpu_id, model_id)
+        """An inference on ``gpu_id`` reused the cached model (LRU touch).
+
+        A use cannot change where the model is resident, and often (hot
+        model re-used on its home GPU) does not even reorder the LRU
+        list, so the no-op halves of the mirror write are elided: the
+        locations key is never re-put on a use, and the LRU key only when
+        the replacement policy reports the order actually changed.  Each
+        skipped mark was one committed key, one ``KeyValue``, and one
+        history entry per completion that said nothing — etcd clients do
+        not re-put values they know are unchanged either.
+        """
+        changed = self._policies[gpu_id].on_access(model_id, self.sim._now)
+        if changed:
+            self._publish(gpu_id, model_id, locations_changed=False)
         self._emit("use", gpu_id, model_id)
 
     # ------------------------------------------------------------------
@@ -173,10 +184,13 @@ class CacheManager:
         self._observers.append(fn)
 
     def _emit(self, kind: str, gpu_id: str, model_id: str) -> None:
+        now = self.sim._now  # hot path: one read, no property call
         for fn in self._observers:
-            fn(kind, gpu_id, model_id, self.sim.now)
+            fn(kind, gpu_id, model_id, now)
 
-    def _publish(self, gpu_id: str, model_id: str) -> None:
+    def _publish(
+        self, gpu_id: str, model_id: str, *, locations_changed: bool = True
+    ) -> None:
         """Mark the GPU's LRU list and the model's locations dirty (§III-E).
 
         The values are supplied lazily: a batched Datastore evaluates the
@@ -184,11 +198,16 @@ class CacheManager:
         between flushes serialize the eviction order once), an unbatched
         one immediately, preserving the literal per-put path.  An empty
         location list deletes the key, exactly like the eager path did.
+        ``locations_changed=False`` (cache *uses*) skips the locations
+        mark: residency did not move, so the write would commit an
+        unchanged value.
         """
         if self._datastore is None:
             return
         lru_key, lru_thunk = self._lru_marks[gpu_id]
         self._datastore.put_lazy(lru_key, lru_thunk)
+        if not locations_changed:
+            return
         mark = self._location_marks.get(model_id)
         if mark is None:
             mark = (

@@ -44,13 +44,15 @@ class DecisionLog:
     def __init__(self, maxlen: int = 100_000) -> None:
         if maxlen < 1:
             raise ValueError("maxlen must be positive")
+        self._maxlen = maxlen
         self._log: deque[Decision] = deque(maxlen=maxlen)
         self._counts: Counter[DecisionKind] = Counter()
 
     def record(self, decision: Decision) -> None:
-        if len(self._log) == self._log.maxlen:
-            self._counts[self._log[0].kind] -= 1  # about to be evicted
-        self._log.append(decision)
+        log = self._log
+        if len(log) == self._maxlen:
+            self._counts[log[0].kind] -= 1  # about to be evicted
+        log.append(decision)
         self._counts[decision.kind] += 1
 
     # ------------------------------------------------------------------

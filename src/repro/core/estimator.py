@@ -155,6 +155,18 @@ class FinishTimeEstimator:
         uploading the model to the idle GPU?
 
         Inference time is paid either way, so the comparison reduces to
-        wait-time on the busy GPU vs. load-time on the idle one.
+        wait-time on the busy GPU vs. load-time on the idle one.  The
+        wait-time expansion is inlined — Algorithm 2 evaluates this on
+        every queue-behind-cached-copy decision, and the four-deep call
+        chain (wait_time → estimated_finish_time → busy_until /
+        queued_cost) was measurable.
         """
-        return self.wait_time(busy_gpu) < self.load_time(request, idle_gpu)
+        gpu_id = busy_gpu.gpu_id
+        now = self.sim._now
+        busy = self._busy_until.get(gpu_id, now)
+        if busy < now:
+            busy = now
+        cost = self._queued_cost.get(gpu_id)
+        if cost is None:
+            cost = self.queued_cost(busy_gpu)  # lazy recompute path
+        return busy - now + cost < self.load_time(request, idle_gpu)

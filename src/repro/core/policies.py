@@ -29,6 +29,21 @@ scan:
   as executable documentation and so the decision-parity tests can assert
   the fast path produces byte-identical ``DecisionLog`` sequences.
 
+Pass elision (dirty signals)
+----------------------------
+Every policy also declares a :class:`~repro.core.signals.PassGuard` — the
+preconditions under which one pass can produce any decision.  The
+Scheduler's elision engine consults it before every would-be pass and
+skips passes the guard proves are no-ops; inside a pass, policies that
+support it consult the same predicate (``SchedulerOps.
+pass_work_remaining``, bound only when elision is on) to stop walking
+idle GPUs once no remaining GPU can act.  Elision changes *which
+provably-empty scans run*, never a decision: the parity suites replay
+identical workloads with elision on and off and require byte-identical
+``DecisionLog``s.  (The ``fast_scans``/``reference_scans`` counters may
+legitimately differ across elision modes — an elided pass performs no
+scans at all.)
+
 The fast path assumes the admission check is trivially true.  With a
 :class:`~repro.core.tenancy.TenancyController` installed the policies no
 longer fall back to the reference scans wholesale: before each per-GPU
@@ -51,6 +66,7 @@ from .cache_manager import CacheManager
 from .estimator import FinishTimeEstimator
 from .queues import GlobalQueue, LocalQueues
 from .request import InferenceRequest
+from .signals import DispatchableWorkGuard, PassGuard
 
 __all__ = [
     "SchedulerOps",
@@ -67,7 +83,16 @@ DEFAULT_O3_LIMIT = 25
 
 
 class SchedulerOps(Protocol):  # pragma: no cover - typing interface
-    """What a policy may observe and do; implemented by the Scheduler."""
+    """What a policy may observe and do; implemented by the Scheduler.
+
+    ``pass_work_remaining`` is the optional mid-pass narrowing probe: the
+    elision engine binds it to the policy's :class:`PassGuard` so a pass
+    can stop walking idle GPUs the moment no remaining GPU can possibly
+    act (the same provable-no-op predicate that elides whole passes).
+    Implementations without it (unit-test fakes, the literal engine with
+    elision off) simply run the full historical walk — policies look it
+    up with ``getattr(..., None)`` and never require it.
+    """
 
     global_queue: GlobalQueue
     local_queues: LocalQueues
@@ -126,6 +151,11 @@ class SchedulingPolicy(ABC):
     name: str = "abstract"
     #: flip to False to run the literal Algorithm-1/2 scans (parity tests)
     use_fast_path: bool = True
+    #: preconditions for a pass to act; the elision engine consults this
+    #: before every would-be pass.  The base guard is the conservative
+    #: fail-safe (exactly the historical run conditions), so subclasses
+    #: that declare nothing are never over-elided.
+    guard: PassGuard = PassGuard()
 
     def __init__(self) -> None:
         #: per-GPU scans served by the index-driven fast path
@@ -146,8 +176,10 @@ class LoadBalancingPolicy(SchedulingPolicy):
     """Default load-balancing baseline (no locality awareness)."""
 
     name = "lb"
+    guard = DispatchableWorkGuard()
 
     def schedule_pass(self, s: SchedulerOps) -> bool:
+        work = getattr(s, "pass_work_remaining", None)
         progress = False
         for gpu in s.idle_gpus():
             if not gpu.is_idle:  # may have changed earlier in this pass
@@ -157,12 +189,16 @@ class LoadBalancingPolicy(SchedulingPolicy):
             if s.local_queues.peek(gpu.gpu_id) is not None:
                 s.dispatch_local_head(gpu)
                 progress = True
-                continue
-            request = self._head(s, gpu)
-            if request is None:
-                continue
-            s.dispatch(request, gpu)
-            progress = True
+            else:
+                request = self._head(s, gpu)
+                if request is None:
+                    continue
+                s.dispatch(request, gpu)
+                progress = True
+            # narrowing: state changed; if no remaining idle GPU can act,
+            # the rest of the walk is provably a no-op
+            if work is not None and not work():
+                return True
         return progress
 
     def _head(self, s: SchedulerOps, gpu: GPUDevice) -> InferenceRequest | None:
@@ -195,6 +231,10 @@ class LocalityOnlyPolicy(SchedulingPolicy):
     """
 
     name = "locality"
+    #: the guard gates pass *entry* only: once running, the global-queue
+    #: walk below may still bind requests to busy GPUs after the last
+    #: idle GPU is consumed, so this pass never narrows mid-walk
+    guard = DispatchableWorkGuard()
 
     def schedule_pass(self, s: SchedulerOps) -> bool:
         progress = False
@@ -271,6 +311,8 @@ class LALBPolicy(SchedulingPolicy):
     module docstring); ``use_fast_path = False`` selects the literal scan.
     """
 
+    guard = DispatchableWorkGuard()
+
     def __init__(self, limit: int = DEFAULT_O3_LIMIT) -> None:
         super().__init__()
         if limit < 0:
@@ -279,19 +321,26 @@ class LALBPolicy(SchedulingPolicy):
         self.name = "lalbo3" if limit > 0 else "lalb"
 
     def schedule_pass(self, s: SchedulerOps) -> bool:
+        work = getattr(s, "pass_work_remaining", None)
+        peek = s.local_queues.peek
+        queue = s.global_queue
         progress = False
         for gpu in s.idle_gpus_by_frequency():
             if not gpu.is_idle:  # became busy earlier in this pass
                 continue
             # Alg. 1 lines 2–5: local queue has absolute priority.
-            if s.local_queues.peek(gpu.gpu_id) is not None:
+            if peek(gpu.gpu_id) is not None:
                 s.dispatch_local_head(gpu)
                 progress = True
+            elif queue._live == 0 or not self._schedule_gpu(s, gpu):
                 continue
-            if len(s.global_queue) == 0:
-                continue
-            if self._schedule_gpu(s, gpu):
+            else:
                 progress = True
+            # narrowing: a dispatch just changed cluster/queue state; when
+            # no remaining idle GPU can possibly act (queue drained, no
+            # idle local work), the rest of the walk is provably a no-op
+            if work is not None and not work():
+                return True
         return progress
 
     # ------------------------------------------------------------------
@@ -299,8 +348,9 @@ class LALBPolicy(SchedulingPolicy):
         if (
             self.use_fast_path
             # the queue's lazy starvation tracking must assume *this*
-            # policy's limit (guards against policy swaps mid-experiment)
-            and s.global_queue.o3_limit == self.limit
+            # policy's limit (guards against policy swaps mid-experiment);
+            # read the private field — this check runs per idle-GPU scan
+            and s.global_queue._o3_limit == self.limit
             and _admission_is_trivial(s)
         ):
             self.fast_scans += 1
@@ -326,22 +376,36 @@ class LALBPolicy(SchedulingPolicy):
         queue = s.global_queue
         acted = False
         # -- first scan (lines 6–16) --------------------------------------
+        # strategy pick off two O(1) signals: when the queue (including
+        # holes past the head cursor) is no longer than the GPU's
+        # resident-model list, walking it in arrival order costs less than
+        # one index probe per resident model; both routes compute the same
+        # oldest-hit entry.
         hit = None  # oldest queued entry whose model is cached on `gpu`
-        for model_id in s.cache.models_on(gpu.gpu_id):
-            entry = queue.first_entry_for_model(model_id)
-            if entry is not None and (hit is None or entry.slot < hit.slot):
-                hit = entry
+        resident = s.cache.models_on(gpu.gpu_id)
+        if queue.scan_span() <= len(resident):
+            hit = queue.first_entry_matching(resident)
+        else:
+            for model_id in resident:
+                entry = queue.first_entry_for_model(model_id)
+                if entry is not None and (hit is None or entry.slot < hit.slot):
+                    hit = entry
         stop_slot = hit.slot if hit is not None else None
         # line 11: requests already skipped past the limit, in queue order,
-        # that the reference scan would reach before the hit
-        for entry in queue.starved_entries_before(stop_slot):
-            outcome = self._locality_load_balance(s, gpu, entry.request)
-            if outcome == "to_this_gpu":
-                # line 13: GPUi consumed; everything scanned before this
-                # request was skipped once more (line 15)
-                queue.bump_visits_before(entry.slot)
-                return True
-            acted = True  # "handled" (admission is trivial, never "blocked")
+        # that the reference scan would reach before the hit.  The O(1)
+        # starved counter elides the sweep outright in the common
+        # nothing-starved state.
+        if queue.starved_count:
+            for entry in queue.starved_entries_before(stop_slot):
+                outcome = self._locality_load_balance(
+                    s, gpu, entry.request, admission_trivial=True
+                )
+                if outcome == "to_this_gpu":
+                    # line 13: GPUi consumed; everything scanned before this
+                    # request was skipped once more (line 15)
+                    queue.bump_visits_before(entry.slot)
+                    return True
+                acted = True  # "handled" (admission is trivial, never "blocked")
         if hit is not None:
             queue.bump_visits_before(stop_slot)  # skips strictly before the hit
             s.dispatch(hit.request, gpu)  # line 8
@@ -352,7 +416,7 @@ class LALBPolicy(SchedulingPolicy):
         # another idle GPU, or binds it to a busy GPU's local queue — the
         # head always leaves the queue, so walking heads costs O(decisions).
         while (head := queue.head()) is not None:
-            outcome = self._locality_load_balance(s, gpu, head)
+            outcome = self._locality_load_balance(s, gpu, head, admission_trivial=True)
             if outcome == "to_this_gpu":
                 return True
             if outcome == "blocked":  # pragma: no cover - impossible w/o tenancy
@@ -394,7 +458,12 @@ class LALBPolicy(SchedulingPolicy):
         return acted
 
     def _locality_load_balance(
-        self, s: SchedulerOps, gpu_i: GPUDevice, request: InferenceRequest
+        self,
+        s: SchedulerOps,
+        gpu_i: GPUDevice,
+        request: InferenceRequest,
+        *,
+        admission_trivial: bool = False,
     ) -> str:
         """Algorithm 2.  Outcomes:
 
@@ -408,8 +477,10 @@ class LALBPolicy(SchedulingPolicy):
         locations = s.cache.locations(request.model_id)
         # Lines 1–3: not cached anywhere → allow the miss on GPUi
         # (subject to the tenant's quota on new GPU processes, §VI).
+        # ``admission_trivial`` is the fast path's per-pass certificate
+        # that no probe can refuse, so the probes themselves are elided.
         if not locations:
-            if not s.may_dispatch(request, gpu_i):
+            if not admission_trivial and not s.may_dispatch(request, gpu_i):
                 return "blocked"  # stays queued until the tenant's usage drops
             s.dispatch(request, gpu_i)
             return "to_this_gpu"
@@ -436,7 +507,7 @@ class LALBPolicy(SchedulingPolicy):
                 return "handled"
         # Lines 16–18: no busy GPU wins → allow the cache miss on GPUi
         # (again subject to the tenant's new-process quota).
-        if not s.may_dispatch(request, gpu_i):
+        if not admission_trivial and not s.may_dispatch(request, gpu_i):
             return "blocked"
         s.dispatch(request, gpu_i)
         return "to_this_gpu"

@@ -39,6 +39,10 @@ __all__ = ["GlobalQueue", "LocalQueues"]
 #: surface from the starvation search (empty, removed, or already-starved).
 _INF = 1 << 60
 
+#: deferred-leaf backlog cap: pushes beyond this settle their own tree
+#: leaf immediately, bounding the settling any single scan can inherit
+_MAX_PENDING_LEAVES = 32
+
 
 class _VisitTree:
     """Min segment tree with lazy prefix-add over queue slots.
@@ -92,28 +96,51 @@ class _VisitTree:
         node >>= 1
         while node:
             left, right = mn[2 * node], mn[2 * node + 1]
-            mn[node] = (left if left <= right else right) + lz[node]
+            m = (left if left <= right else right) + lz[node]
+            if mn[node] == m:
+                break  # ancestors derive from this value: nothing changes
+            mn[node] = m
             node >>= 1
 
     # -- prefix update / starvation search -------------------------------
     def prefix_add(self, r: int, delta: int) -> None:
-        """Add ``delta`` to every leaf in ``[0, r)``."""
-        self._add(1, 0, self.size, r, delta)
+        """Add ``delta`` to every leaf in ``[0, r)``.
 
-    def _add(self, node: int, lo: int, hi: int, r: int, delta: int) -> None:
-        if r <= lo:
+        Iterative: a prefix decomposes into full-cover nodes along the
+        single root→``r`` boundary path, so the update is a loop of at
+        most ``log₂(size)`` steps with no recursion — this runs once per
+        scheduling scan (Alg. 1 line 15 for the whole scan), so the call
+        overhead of the recursive form was measurable.
+        """
+        size = self.size
+        if r <= 0:
             return
-        mn = self._mn
-        if hi <= r:
-            mn[node] += delta
-            if node < self.size:
-                self._lz[node] += delta
+        mn, lz = self._mn, self._lz
+        if r >= size:
+            mn[1] += delta
+            lz[1] += delta
             return
-        mid = (lo + hi) // 2
-        self._add(2 * node, lo, mid, r, delta)
-        self._add(2 * node + 1, mid, hi, r, delta)
-        left, right = mn[2 * node], mn[2 * node + 1]
-        mn[node] = (left if left <= right else right) + self._lz[node]
+        node, lo, hi = 1, 0, size
+        path = []
+        while True:
+            if r >= hi:
+                mn[node] += delta
+                if node < size:
+                    lz[node] += delta
+                break
+            path.append(node)
+            mid = (lo + hi) >> 1
+            if r <= mid:
+                node, hi = 2 * node, mid
+            else:
+                left = 2 * node
+                mn[left] += delta
+                if left < size:
+                    lz[left] += delta
+                node, lo = left + 1, mid
+        for n in reversed(path):
+            left, right = mn[2 * n], mn[2 * n + 1]
+            mn[n] = (left if left <= right else right) + lz[n]
 
     def first_depleted(self, r: int) -> int | None:
         """Leftmost leaf in ``[0, r)`` whose value is ≤ 0, or None."""
@@ -152,7 +179,10 @@ class _VisitTree:
 class _Entry:
     """One queued request plus its position and lazy O3-visit state."""
 
-    __slots__ = ("request", "key", "slot", "alive", "starved", "visits_at_entry", "rem0")
+    __slots__ = (
+        "request", "key", "slot", "alive", "starved",
+        "visits_at_entry", "rem0", "leaf_applied",
+    )
 
     def __init__(self, request: InferenceRequest, key: tuple[float, int], slot: int) -> None:
         self.request = request
@@ -165,6 +195,13 @@ class _Entry:
         self.visits_at_entry = 0
         #: remaining skip budget at (re)indexing time (tree leaf baseline)
         self.rem0 = 0
+        #: whether the visit tree's leaf actually holds rem0 yet.  Leaf
+        #: attachment is deferred until the first scan whose prefix covers
+        #: this slot: a request that is pushed and dispatched before any
+        #: such scan (the hot submit→dispatch shape) never touches the
+        #: tree at all.  While unapplied, the live visit count is exactly
+        #: ``visits_at_entry`` — no bump can have covered the slot.
+        self.leaf_applied = False
 
 
 class GlobalQueue:
@@ -187,6 +224,9 @@ class GlobalQueue:
         self._head = 0  # first possibly-alive slot
         self._seq = itertools.count()
         self._tree: _VisitTree | None = None
+        #: entries whose tree leaf has not been written yet (deferred
+        #: attachment; applied by the first bump whose prefix covers them)
+        self._pending_leaves: list[_Entry] = []
         self._starved: list[_Entry] = []  # slot-ordered; may hold dead entries
         self._starved_dead = 0
         self._version = 0  # bumped whenever slots are renumbered
@@ -211,6 +251,28 @@ class GlobalQueue:
     def tracks_visits(self) -> bool:
         """Whether lazy O3-visit accounting is active (LALB fast path)."""
         return self._o3_limit is not None
+
+    @property
+    def starved_count(self) -> int:
+        """Live requests past the O3 limit (the starvation/O3 signal).
+
+        O(1): the starved list and its dead count are both maintained
+        incrementally.  The LALB fast scan consults this before walking
+        the starved set at all — zero (the overwhelmingly common state)
+        elides the whole Alg. 1 line-11 sweep.
+        """
+        return len(self._starved) - self._starved_dead
+
+    def scan_span(self) -> int:
+        """Upper bound on the slots a live in-order walk must visit.
+
+        This is the queue-length signal the first-scan strategy pick
+        consults: when the span undercuts the number of models resident
+        on the GPU, walking the queue beats one index probe per resident
+        model.  Counts holes after the head cursor, so it bounds the true
+        cost of :meth:`first_entry_matching`, not just the live count.
+        """
+        return len(self._entries) - self._head
 
     def __contains__(self, request: InferenceRequest) -> bool:
         return request.request_id in self._by_id
@@ -268,7 +330,10 @@ class GlobalQueue:
         self._keys.append(entry.key)
         self._by_id[request.request_id] = entry
         model_id = request.model_id
-        self._buckets.setdefault(model_id, deque()).append(entry)
+        bucket = self._buckets.get(model_id)
+        if bucket is None:  # avoid minting a throwaway deque per push
+            bucket = self._buckets[model_id] = deque()
+        bucket.append(entry)
         self._model_live[model_id] = self._model_live.get(model_id, 0) + 1
         self._live += 1
         if self._track_tenants:
@@ -334,7 +399,10 @@ class GlobalQueue:
         entry.alive = False
         self._entries[entry.slot] = None
         self._live -= 1
-        if self._tree is not None:
+        if self._tree is not None and not entry.starved and entry.leaf_applied:
+            # starved and never-attached leaves already sit at infinity;
+            # only live countdowns need parking so the starvation search
+            # never surfaces the slot
             self._tree.point_set(entry.slot, _INF)
         if entry.starved:
             self._starved_dead += 1
@@ -370,6 +438,22 @@ class GlobalQueue:
         while not bucket[0].alive:
             bucket.popleft()
         return bucket[0]
+
+    def first_entry_matching(self, model_ids) -> _Entry | None:
+        """Oldest live entry whose model is in ``model_ids`` (a set).
+
+        The queue-walk half of the first-scan strategy pick: cost is
+        bounded by :meth:`scan_span`, so callers choose it exactly when
+        the queue is shorter than the GPU's resident-model list and the
+        per-model index probes would cost more.  Equivalent to taking the
+        minimum slot over ``first_entry_for_model`` of every member.
+        """
+        entries = self._entries
+        for i in range(self._head, len(entries)):
+            entry = entries[i]
+            if entry is not None and entry.request.model_id in model_ids:
+                return entry
+        return None
 
     def first_for_model(self, model_id: str) -> InferenceRequest | None:
         """Oldest queued request needing ``model_id`` (O(1) via the index)."""
@@ -462,6 +546,10 @@ class GlobalQueue:
         if r <= 0 or self._tree is None:
             return
         tree = self._tree
+        if self._pending_leaves:
+            # deferred leaf attachment: settle the entries this prefix is
+            # about to decrement; slots at or past the stop keep deferring
+            self._flush_pending_leaves(r)
         tree.prefix_add(r, -1)
         while (slot := tree.first_depleted(r)) is not None:
             entry = self._entries[slot]
@@ -483,18 +571,44 @@ class GlobalQueue:
         else:
             entry.rem0 = need
             if tree_leaf_pending:
-                self._tree.point_set(entry.slot, need)  # type: ignore[union-attr]
-        request._attach_queue_entry(self, entry)
+                # deferred: the leaf is written only if a scan's prefix
+                # ever covers this slot (see bump_visits_before).  The
+                # backlog is capped so one scan never settles more than a
+                # constant number of leaves — §VI's per-pass bound must
+                # not degrade to O(pushes since the last scan).
+                self._pending_leaves.append(entry)
+                if len(self._pending_leaves) >= _MAX_PENDING_LEAVES:
+                    self._flush_pending_leaves(None)
+        # inlined request._attach_queue_entry (one call per push saved)
+        request._queue_probe = (self, entry)
+
+    def _flush_pending_leaves(self, r: int | None) -> None:
+        """Write the deferred tree leaves for slots below ``r`` (None =
+        all); dead and already-starved entries are dropped unwritten."""
+        tree = self._tree
+        keep = []
+        for e in self._pending_leaves:
+            if not e.alive or e.starved or e.leaf_applied:
+                continue
+            if r is None or e.slot < r:
+                tree.point_set(e.slot, e.rem0)  # type: ignore[union-attr]
+                e.leaf_applied = True
+            else:
+                keep.append(e)
+        self._pending_leaves = keep
 
     def _materialize(self, entry: _Entry) -> None:
         """Fold the lazy skip count into the request's eager ``visits``."""
         request = entry.request
         if self._o3_limit is not None:
             request._visits = self._entry_visits(entry)
-        request._detach_queue_entry(entry)
+        # inlined request._detach_queue_entry (one call per removal saved)
+        probe = request._queue_probe
+        if probe is not None and probe[1] is entry:
+            request._queue_probe = None
 
     def _entry_visits(self, entry: _Entry) -> int:
-        if entry.starved or self._tree is None:
+        if entry.starved or self._tree is None or not entry.leaf_applied:
             return entry.visits_at_entry
         return entry.visits_at_entry + (entry.rem0 - self._tree.point_get(entry.slot))
 
@@ -510,11 +624,15 @@ class GlobalQueue:
         remaining = self._o3_limit + 1 - value  # type: ignore[operator]
         if remaining <= 0:
             entry.starved = True
-            self._tree.point_set(entry.slot, _INF)
+            if entry.leaf_applied:
+                self._tree.point_set(entry.slot, _INF)
             insort(self._starved, entry, key=lambda e: e.slot)
         else:
             entry.rem0 = remaining
-            self._tree.point_set(entry.slot, remaining)
+            if entry.leaf_applied:
+                self._tree.point_set(entry.slot, remaining)
+            # deferred entries keep deferring: rem0 is what the eventual
+            # attachment will write
 
     # ------------------------------------------------------------------
     # Re-indexing (hole compaction / tree growth / positional insert)
@@ -524,7 +642,7 @@ class GlobalQueue:
         if self._tree is not None:
             values = self._tree.values(len(self._entries))
             for entry in self._entries:
-                if entry is not None and not entry.starved:
+                if entry is not None and not entry.starved and entry.leaf_applied:
                     rem = values[entry.slot]
                     entry.visits_at_entry += entry.rem0 - rem
                     entry.rem0 = rem
@@ -544,9 +662,14 @@ class GlobalQueue:
     def _rebuild_tree(self) -> None:
         need = max(64, 2 * (self._live + 1))
         cap = 1 << (need - 1).bit_length()
-        leaves = [
-            _INF if e is None or e.starved else e.rem0 for e in self._entries
-        ]
+        leaves = []
+        for e in self._entries:
+            if e is None or e.starved:
+                leaves.append(_INF)
+            else:
+                leaves.append(e.rem0)
+                e.leaf_applied = True  # the rebuild just wrote its leaf
+        self._pending_leaves = []
         self._tree = _VisitTree(cap, leaves)
 
 
@@ -562,6 +685,10 @@ class LocalQueues:
     def __init__(self) -> None:
         self._queues: dict[str, deque[InferenceRequest]] = {}
         self._total = 0
+        #: gpu_ids whose queue is non-empty (the local-work dirty signal:
+        #: maintained on the 0↔1 length transitions, read by the pass
+        #: guards without walking any queue)
+        self._nonempty: set[str] = set()
         # fn(gpu_id, request, added): added=True on push, False on pop
         self._observers: list[Callable[[str, InferenceRequest, bool], None]] = []
 
@@ -571,7 +698,12 @@ class LocalQueues:
 
     def push(self, gpu_id: str, request: InferenceRequest) -> None:
         request.state = RequestState.LOCAL_QUEUED
-        self._queues.setdefault(gpu_id, deque()).append(request)
+        q = self._queues.get(gpu_id)
+        if q is None:  # avoid minting a throwaway deque per push
+            q = self._queues[gpu_id] = deque()
+        if not q:
+            self._nonempty.add(gpu_id)
+        q.append(request)
         self._total += 1
         for fn in self._observers:
             fn(gpu_id, request, True)
@@ -582,6 +714,8 @@ class LocalQueues:
             raise IndexError(f"local queue of {gpu_id} is empty")
         self._total -= 1
         request = q.popleft()
+        if not q:
+            self._nonempty.discard(gpu_id)
         for fn in self._observers:
             fn(gpu_id, request, False)
         return request
@@ -598,6 +732,15 @@ class LocalQueues:
 
     def total(self) -> int:
         return self._total
+
+    def nonempty_gpu_ids(self) -> set[str]:
+        """GPUs with queued local work (live set — do not mutate).
+
+        O(1): maintained on the 0↔1 length transitions.  This is the
+        local-queue dirty signal the pass guards join with the cluster's
+        idle flags.
+        """
+        return self._nonempty
 
     def non_empty_gpus(self) -> list[str]:
         return [g for g, q in self._queues.items() if q]

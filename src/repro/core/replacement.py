@@ -45,6 +45,9 @@ class EvictionPolicy(ABC):
         self._resident: dict[str, float] = {}  # model_id -> occupied_mb
         self._resident_view: frozenset[str] | None = None
         self._order_view: list[str] | None = None
+        # published-tuple cache, keyed by the list view's identity
+        self._order_tuple: tuple[str, ...] = ()
+        self._order_tuple_src: list[str] | None = None
 
     # -- residency bookkeeping ------------------------------------------
     def on_insert(self, model_id: str, size_mb: float, now: float) -> None:
@@ -55,11 +58,29 @@ class EvictionPolicy(ABC):
         self._order_view = None
         self._insert(model_id, now)
 
-    def on_access(self, model_id: str, now: float) -> None:
+    def on_access(self, model_id: str, now: float) -> bool:
+        """Record a cache hit; returns whether the eviction order changed.
+
+        The return value is a dirty signal: the Cache Manager skips
+        re-publishing a GPU's LRU list when a touch provably left it
+        unchanged (e.g. re-using the most-recently-used model — the
+        common case under locality scheduling).  Policies that cannot
+        decide cheaply report True (conservative).
+        """
         if model_id not in self._resident:
             raise KeyError(f"{model_id} is not resident")
-        self._order_view = None  # access can reorder victims (LRU/LFU/...)
-        self._access(model_id, now)
+        if self._access_changes_order(model_id):
+            self._order_view = None  # access can reorder victims (LRU/LFU/...)
+            self._access(model_id, now)
+            return True
+        self._access(model_id, now)  # stat-keeping policies still observe it
+        return False
+
+    def _access_changes_order(self, model_id: str) -> bool:
+        """Whether an access to ``model_id`` can reorder the victims.
+        Conservative default; exact overrides in LRU (already-MRU) and
+        FIFO (never reorders)."""
+        return True
 
     def on_evict(self, model_id: str) -> None:
         if model_id not in self._resident:
@@ -99,6 +120,16 @@ class EvictionPolicy(ABC):
         if order is None:
             order = self._order_view = self._compute_eviction_order()
         return order
+
+    def eviction_order_tuple(self) -> tuple[str, ...]:
+        """The eviction order as an immutable tuple (what the Cache
+        Manager publishes to the Datastore), cached alongside the list
+        view so repeated flushes between changes serialize it once."""
+        order = self.eviction_order()
+        if self._order_tuple_src is not order:
+            self._order_tuple = tuple(order)
+            self._order_tuple_src = order
+        return self._order_tuple
 
     # -- victim selection (§III-D) ----------------------------------------
     def choose_victims(
@@ -143,6 +174,10 @@ class LRUPolicy(EvictionPolicy):
     def _forget(self, model_id: str) -> None:
         del self._order[model_id]
 
+    def _access_changes_order(self, model_id: str) -> bool:
+        # re-using the most-recently-used model leaves the order intact
+        return next(reversed(self._order)) != model_id
+
     def _compute_eviction_order(self) -> list[str]:
         return list(self._order)
 
@@ -163,6 +198,9 @@ class FIFOPolicy(EvictionPolicy):
 
     def _access(self, model_id: str, now: float) -> None:
         pass  # reuse does not matter to FIFO
+
+    def _access_changes_order(self, model_id: str) -> bool:
+        return False  # load order is fixed at insertion
 
     def _forget(self, model_id: str) -> None:
         del self._order[model_id]

@@ -8,6 +8,21 @@ maintained by the GPU Managers and Cache Manager.
 The Scheduler implements :class:`~repro.core.policies.SchedulerOps`: the
 policy objects decide, the Scheduler executes (removing requests from
 queues, invoking GPU Managers, shipping the GPU address with the dispatch).
+
+Pass-elision engine
+-------------------
+Every entry point (``submit`` / ``on_gpu_idle`` / ``resubmit``) used to
+run at least one full policy pass.  With elision on (the default,
+``SystemConfig(pass_elision=True)``) the Scheduler instead consults the
+policy's :class:`~repro.core.signals.PassGuard` before every would-be
+pass — the initial pass of an action and every re-invocation after a
+productive one — and skips passes the guard proves are no-ops, reacting
+to the dirty signals the components publish (idle-set delta, queue
+length, idle local work) instead of re-deriving "nothing to do" from
+full state.  ``passes_executed`` / ``passes_elided`` count every
+considered pass into exactly one of the two bins, so benchmarks can gate
+that elision actually engages.  The pre-elision engine survives as
+``pass_elision=False`` for the parity suites.
 """
 
 from __future__ import annotations
@@ -23,6 +38,7 @@ from .gpu_manager import GPUManager
 from .policies import SchedulingPolicy
 from .queues import GlobalQueue, LocalQueues
 from .request import InferenceRequest, RequestState
+from .signals import IdleLocalWorkIndex
 from .tenancy import TenancyController
 
 __all__ = ["Scheduler"]
@@ -42,6 +58,7 @@ class Scheduler:
         *,
         datastore: DatastoreClient | None = None,
         tenancy: TenancyController | None = None,
+        pass_elision: bool = True,
     ) -> None:
         self.sim = sim
         self.cluster = cluster
@@ -59,14 +76,36 @@ class Scheduler:
         )
         self.datastore = datastore
         self.tenancy = tenancy
-        self._managers = gpu_managers  # node_id -> GPUManager
+        # per-GPU dispatch plumbing, precomputed once: the "GPU address"
+        # (server IP + device name, §III-B) and the owning manager used to
+        # cost a node_of lookup, a string split, and a tuple per dispatch
+        self._address_of: dict[str, tuple[str, str]] = {}
+        self._manager_of: dict[str, GPUManager] = {}
+        for node in cluster.nodes:
+            manager = gpu_managers.get(node.node_id)
+            for g in node.gpus:
+                self._address_of[g.gpu_id] = node.gpu_address(g)
+                if manager is not None:
+                    self._manager_of[g.gpu_id] = manager
         self._scheduling = False
+        self._work_exhausted = False
         self.dispatched_count = 0
         self.decisions = DecisionLog()
-        # cached frequency-sorted idle view (rebuilt when any GPU's state
-        # or completion count changes; see Cluster.version)
-        self._freq_version = -1
-        self._freq_cache: list[GPUDevice] = []
+        self._record_decision = self.decisions.record  # hot-path bound method
+        #: idle ∩ local-work dirty-signal join (see signals.py); consumed
+        #: by the pass guards and the mid-pass narrowing probe
+        self.idle_local_work = IdleLocalWorkIndex(cluster, self.local_queues)
+        self.pass_elision = pass_elision
+        #: scheduling actions seen (entry-point invocations)
+        self.actions = 0
+        #: passes actually run (either engine)
+        self.passes_executed = 0
+        #: passes proven no-ops by the guard and skipped (elision on only)
+        self.passes_elided = 0
+        # the mid-pass narrowing probe: bound only when elision is on
+        # (None keeps the policies on the full historical walk, and keeps
+        # their getattr probe on the cheap found-attribute path)
+        self.pass_work_remaining = self._pass_work_remaining if pass_elision else None
 
     # ------------------------------------------------------------------
     # Entry points
@@ -75,11 +114,13 @@ class Scheduler:
         """Accept a request from the Gateway into the global queue."""
         request.state = RequestState.QUEUED
         self.global_queue.push(request)
+        self.actions += 1
         self._run_policy()
         self._flush_writes()
 
     def on_gpu_idle(self, gpu: GPUDevice) -> None:
         """GPU Manager callback: a GPU finished its request."""
+        self.actions += 1
         self._run_policy()
         self._flush_writes()
 
@@ -96,6 +137,7 @@ class Scheduler:
         request.reset_for_retry()
         self._record(DecisionKind.RESUBMIT, request, None)
         self.global_queue.push_sorted(request)
+        self.actions += 1
         self._run_policy()
         self._flush_writes()
 
@@ -113,8 +155,23 @@ class Scheduler:
         no Datastore) this is a no-op, preserving the literal per-put
         behaviour.
         """
-        if self.datastore is not None and not self.sim.is_running:
+        if self.datastore is not None and not self.sim._running:
             self.datastore.flush()
+
+    def _pass_work_remaining(self) -> bool:
+        """The narrowing probe policies consult mid-pass (elision on).
+
+        Same provable-no-op predicate the policy's guard applies between
+        passes, evaluated from the live dirty signals — so a pass stops
+        walking idle GPUs the moment nothing it visits can act.  A False
+        answer is remembered (``_work_exhausted``) so the engine can elide
+        the post-pass guard re-evaluation: nothing changes between the
+        probe and the pass returning.
+        """
+        if self.policy.guard.may_act(self):
+            return True
+        self._work_exhausted = True
+        return False
 
     def _run_policy(self) -> None:
         """Run scheduling passes until the policy makes no more progress.
@@ -123,16 +180,44 @@ class Scheduler:
         (global or local) and at least one GPU is idle.  The re-entrancy
         guard matters because dispatching can synchronously change GPU
         state, which policies observe mid-pass.
+
+        With elision on, the policy's :class:`PassGuard` replaces the
+        historical run/stop conditions: every would-be pass is either
+        executed or — when the guard proves it a no-op — elided and
+        counted.  Both engines run the same passes in the same order;
+        elision only removes passes that would have decided nothing.
         """
         if self._scheduling:
             return
+        if self.pass_elision:
+            guard_may_act = self.policy.guard.may_act
+            if not guard_may_act(self):
+                self.passes_elided += 1
+                return
+            self._scheduling = True
+            try:
+                while True:
+                    self.passes_executed += 1
+                    self._work_exhausted = False
+                    if not self.policy.schedule_pass(self):
+                        break
+                    if self._work_exhausted or not guard_may_act(self):
+                        self.passes_elided += 1
+                        break
+            finally:
+                self._scheduling = False
+            return
+        # reference engine: the pre-elision run/stop conditions, verbatim
         if not self.cluster.idle_gpus():
             return
         if len(self.global_queue) == 0 and self.local_queues.total() == 0:
             return
         self._scheduling = True
         try:
-            while self.policy.schedule_pass(self):
+            while True:
+                self.passes_executed += 1
+                if not self.policy.schedule_pass(self):
+                    break
                 if not self.cluster.idle_gpus():
                     break
                 if len(self.global_queue) == 0 and self.local_queues.total() == 0:
@@ -150,20 +235,12 @@ class Scheduler:
         """Idle GPUs, most-used first (Alg. 1's "sorted by frequency").
 
         Frequency is the number of requests the GPU has completed; ties
-        break on gpu_id for determinism.  The sorted view is cached and
-        only rebuilt when some GPU's state or completion count changed, so
-        repeated calls within a pass — and the no-idle-GPU hot case — cost
-        O(1) instead of a scan-and-sort.  Callers must not mutate the
-        returned list.
+        break on gpu_id for determinism.  Served from the Cluster's
+        incrementally maintained view (one remove per dispatch, one
+        re-file per completion — no rebuild-and-sort on state changes).
+        Callers must not mutate the returned list.
         """
-        version = self.cluster.version
-        if version != self._freq_version:
-            idle = self.cluster.idle_gpus()
-            if len(idle) > 1:
-                idle = sorted(idle, key=lambda g: (-g.completed_requests, g.gpu_id))
-            self._freq_cache = idle
-            self._freq_version = version
-        return self._freq_cache
+        return self.cluster.idle_gpus_by_frequency()
 
     def busy_gpus(self) -> list[GPUDevice]:
         return self.cluster.busy_gpus()
@@ -220,22 +297,18 @@ class Scheduler:
         self.local_queues.push(gpu.gpu_id, request)
 
     def _record(self, kind: DecisionKind, request: InferenceRequest, gpu_id: str | None) -> None:
-        self.decisions.record(
+        # positional Decision mint + cached bound method + direct _now
+        # read: one Decision is recorded per scheduling action
+        self._record_decision(
             Decision(
-                time_s=self.sim.now,
-                kind=kind,
-                request_id=request.request_id,
-                model_id=request.model_id,
-                gpu_id=gpu_id,
-                visits=request.visits,
+                self.sim._now, kind, request.request_id,
+                request.model_id, gpu_id, request.visits,
             )
         )
 
     def _execute(self, request: InferenceRequest, gpu: GPUDevice) -> None:
-        node = self.cluster.node_of(gpu.gpu_id)
-        ip, device = node.gpu_address(gpu)
-        request.state = RequestState.DISPATCHED
-        # the "GPU address" shipped with the function's container (§III-B)
-        request.gpu_address = (ip, device)
-        self._managers[node.node_id].execute(request, gpu)
+        # the "GPU address" shipped with the function's container (§III-B);
+        # the manager stamps RequestState.DISPATCHED as part of execute()
+        request.gpu_address = self._address_of[gpu.gpu_id]
+        self._manager_of[gpu.gpu_id].execute(request, gpu)
         self.dispatched_count += 1

@@ -50,6 +50,9 @@ DELETE = _Delete()
 _PUT = "put"
 _LAZY = "lazy"
 _DEL = "delete"
+#: shared singleton delete op — one commit may carry many deletes and the
+#: coalesced map needs no per-entry state for them
+_DELETE_OP = ("delete",)
 
 
 class WriteBatch:
@@ -62,34 +65,45 @@ class WriteBatch:
         # marks a put that overwrote a pending delete: the flush re-emits the
         # delete before it so the store recreates the key (version 1), just
         # as the sequential delete-then-put would have.
+        #
+        # The dict object is stable for the batch's lifetime (flush drains
+        # it in place): the Datastore's per-event safety-net hook closes
+        # over it so the no-op path is a single truthiness test.
         self._pending: dict[str, tuple[str, Any, "Lease | None", bool]] = {}
         #: writes absorbed by last-write-wins since the last flush — each
         #: one is a revision bump (and watch fan-out) the batch removed
         self.overwritten = 0
 
+    @property
+    def pending_map(self) -> dict:
+        """The live pending dict (stable identity; treat as read-only)."""
+        return self._pending
+
     # ------------------------------------------------------------------
-    # Accumulation
+    # Accumulation (put/put_lazy carry the same body rather than sharing a
+    # helper: these run several times per scheduling action, and the extra
+    # call layer was measurable on the replay hot path)
     # ------------------------------------------------------------------
-    def _record_put(
-        self, key: str, kind: str, payload: Any, lease: "Lease | None"
-    ) -> None:
+    def put(self, key: str, value: Any, *, lease: "Lease | None" = None) -> None:
+        """Record a put; overwrites any pending entry for ``key``."""
         prior = self._pending.get(key)
         fresh = False
         if prior is not None:
             self.overwritten += 1
-            fresh = prior[0] == _DEL or prior[3]  # put lands over a delete
-        self._pending[key] = (kind, payload, lease, fresh)
-
-    def put(self, key: str, value: Any, *, lease: "Lease | None" = None) -> None:
-        """Record a put; overwrites any pending entry for ``key``."""
-        self._record_put(key, _PUT, value, lease)
+            fresh = prior[0] is _DEL or prior[3]  # put lands over a delete
+        self._pending[key] = (_PUT, value, lease, fresh)
 
     def put_lazy(
         self, key: str, thunk: Callable[[], Any], *, lease: "Lease | None" = None
     ) -> None:
         """Mark ``key`` dirty; ``thunk()`` supplies the value at flush time
         (or :data:`DELETE` to delete the key instead)."""
-        self._record_put(key, _LAZY, thunk, lease)
+        prior = self._pending.get(key)
+        fresh = False
+        if prior is not None:
+            self.overwritten += 1
+            fresh = prior[0] is _DEL or prior[3]
+        self._pending[key] = (_LAZY, thunk, lease, fresh)
 
     def delete(self, key: str) -> None:
         """Record a delete; overwrites any pending entry for ``key``."""
@@ -140,9 +154,11 @@ class WriteBatch:
         Lazy thunks are resolved now, leases attach to their committed
         keys, and the pending set is cleared *before* the store applies the
         batch so watcher callbacks that issue new writes start the next
-        batch instead of mutating the one being committed.
+        batch instead of mutating the one being committed.  (Thunks are
+        value *serializers*: they must not write back into the batch —
+        they run while the pending map is being drained in place.)
         """
-        pending, self._pending = self._pending, {}
+        pending = self._pending
         if not pending:
             return BatchCommit(revision=None, events=(), existed={})
         # hand the store the coalesced {key: op} map it would have rebuilt
@@ -150,19 +166,31 @@ class WriteBatch:
         # delete inside the store (key recreated at version 1), exactly as
         # the sequential delete-then-put would have
         coalesced: dict[str, tuple] = {}
-        leases: list[tuple[str, "Lease"]] = []
+        leases: list[tuple[str, "Lease"]] | None = None
         for key, (kind, payload, lease, fresh) in pending.items():
-            if kind == _LAZY:
+            if kind is _LAZY:
                 value = payload()
-                kind, payload = (_DEL, None) if value is DELETE else (_PUT, value)
-            if kind == _PUT:
-                coalesced[key] = ("put", payload, fresh)
+                if value is DELETE:
+                    coalesced[key] = _DELETE_OP
+                    continue
+                kind, payload = _PUT, value
+            if kind is _PUT:
+                coalesced[key] = (_PUT, payload, fresh)
                 if lease is not None:
+                    if leases is None:
+                        leases = []
                     leases.append((key, lease))
             else:
-                coalesced[key] = ("delete",)
-        commit = self._store._apply_coalesced(coalesced)
-        if commit.revision is not None:
+                coalesced[key] = _DELETE_OP
+        # clear in place *after* building the op map but *before* applying:
+        # the dict keeps its identity (the post-event hook closes over it)
+        # and watcher callbacks fired by the commit start the next batch
+        # instead of mutating the one being committed
+        pending.clear()
+        # the per-action flush discards the pre-commit liveness map, so
+        # skip building it (transactions use apply_batch, which keeps it)
+        commit = self._store._apply_coalesced(coalesced, want_existed=False)
+        if leases is not None and commit.revision is not None:
             for key, lease in leases:
                 if lease.alive:
                     lease.attach(key)

@@ -98,9 +98,19 @@ class Datastore:
         self.pending = WriteBatch(self.kv)
         self.stats = WriteStats()
         if batched:
-            # the action boundary: whatever writes a simulator event handler
-            # issued commit as one transaction once the handler returns
-            sim.subscribe_post_event(self.flush)
+            # The action boundary: whatever writes a simulator event handler
+            # issued commit as one transaction once the handler returns.
+            # The hook closes over the batch's stable pending dict so the
+            # no-op path — most events write nothing — is one truthiness
+            # test instead of a flush call that discovers it has no work.
+            pending_map = self.pending.pending_map
+            flush = self.flush
+
+            def _post_event_flush() -> None:
+                if pending_map:
+                    flush()
+
+            sim.subscribe_post_event(_post_event_flush)
 
     def client(self, namespace: str = "") -> "DatastoreClient":
         """A client view under ``namespace`` (empty = root)."""
@@ -118,19 +128,22 @@ class Datastore:
         those are flushed too (bounded), so the pending set is empty when
         this returns under any sane watcher graph.
         """
-        if not self.pending:
+        pending = self.pending
+        if not pending._pending:
             return 0  # fast exit: this runs after *every* simulator event
+        stats = self.stats
         committed = 0
         for _ in range(_MAX_FLUSH_CASCADE):
-            if not self.pending:
-                break
-            self.stats.coalesced_writes += self.pending.overwritten
-            self.pending.overwritten = 0
-            commit = self.pending.flush()
+            stats.coalesced_writes += pending.overwritten
+            pending.overwritten = 0
+            commit = pending.flush()
             if commit.revision is not None:
-                self.stats.flushes += 1
-                self.stats.committed_keys += len(commit.events)
-                committed += len(commit.events)
+                stats.flushes += 1
+                n = len(commit.events)
+                stats.committed_keys += n
+                committed += n
+            if not pending._pending:
+                break
         return committed
 
 
@@ -158,11 +171,12 @@ class DatastoreClient:
         Batched mode defers the write to the next flush and returns None
         (no :class:`KeyValue` exists until the transaction commits).
         """
-        self._store.stats.logical_writes += 1
-        if self._store.batched:
-            self._store.pending.put(self._k(key), value, lease=lease)
+        store = self._store
+        store.stats.logical_writes += 1
+        if store.batched:
+            store.pending.put(self.namespace + key, value, lease=lease)
             return None
-        kv = self._store.kv.put(self._k(key), value)
+        kv = store.kv.put(self._k(key), value)
         if lease is not None:
             lease.attach(self._k(key))
         return kv
@@ -177,9 +191,10 @@ class DatastoreClient:
         marks serialize the value once.  Unbatched it degenerates to an
         immediate ``put`` (or ``delete``) of ``thunk()``'s result.
         """
-        self._store.stats.logical_writes += 1
-        if self._store.batched:
-            self._store.pending.put_lazy(self._k(key), thunk, lease=lease)
+        store = self._store
+        store.stats.logical_writes += 1
+        if store.batched:
+            store.pending.put_lazy(self.namespace + key, thunk, lease=lease)
             return
         value = thunk()
         if value is DELETE:

@@ -91,6 +91,11 @@ class KVStore:
         self._event_revs: list[int] = []
         self._event_keys: list[str] = []
         self._event_vals: list[KeyValue | None] = []
+        # bound appends for the per-put event-log writes (compact() trims
+        # the lists in place, so the bindings never go stale)
+        self._ev_rev_append = self._event_revs.append
+        self._ev_key_append = self._event_keys.append
+        self._ev_val_append = self._event_vals.append
         # sorted live-key cache for range/keys/items; invalidated whenever
         # the *key set* changes (value-only updates keep it valid)
         self._sorted_keys: list[str] | None = []
@@ -145,14 +150,19 @@ class KVStore:
             kv = KeyValue(key, value, revision, revision, 1)
             self._sorted_keys = None
         else:
-            kv = KeyValue(key, value, prev.create_revision, revision, prev.version + 1)
+            # prev[2]/prev[4] = create_revision/version by index: this runs
+            # per committed key and NamedTuple attribute descriptors cost
+            kv = KeyValue(key, value, prev[2], revision, prev[4] + 1)
         self._live[key] = kv
-        revs, vals = self._history.setdefault(key, ([], []))
-        revs.append(revision)
-        vals.append(kv)
-        self._event_revs.append(revision)
-        self._event_keys.append(key)
-        self._event_vals.append(kv)
+        hist = self._history.get(key)
+        if hist is None:  # first write: mint the history pre-populated
+            self._history[key] = ([revision], [kv])
+        else:
+            hist[0].append(revision)
+            hist[1].append(kv)
+        self._ev_rev_append(revision)
+        self._ev_key_append(key)
+        self._ev_val_append(kv)
         return kv
 
     def _apply_delete(self, key: str) -> None:
@@ -213,22 +223,36 @@ class KVStore:
                 raise ValueError(f"unknown batch op kind {kind!r}")
         return self._apply_coalesced(coalesced)
 
-    def _apply_coalesced(self, coalesced: dict[str, tuple]) -> BatchCommit:
+    def _apply_coalesced(
+        self, coalesced: dict[str, tuple], *, want_existed: bool = True
+    ) -> BatchCommit:
         """Commit an already-coalesced batch (``apply_batch``'s inner half).
 
         ``coalesced`` maps key → ``("put", value, fresh)`` or
         ``("delete",)``; the :class:`~repro.datastore.batch.WriteBatch`
         maintains exactly this shape while accumulating, so its flush calls
         here directly instead of rebuilding an op list for re-coalescing.
+
+        ``want_existed=False`` skips building the pre-commit liveness map:
+        the control plane's per-action flushes discard it, and this path
+        runs once per scheduling action, so the extra full pass over the
+        batch was measurable.  Transactions (which answer per-op responses
+        from it) keep the default.
         """
         live = self._live
-        existed = {}
+        existed: dict[str, bool] = {}
         effective = False
-        for key, entry in coalesced.items():
-            ex = key in live
-            existed[key] = ex
-            if ex or entry[0] == "put":
-                effective = True
+        if want_existed:
+            for key, entry in coalesced.items():
+                ex = key in live
+                existed[key] = ex
+                if ex or entry[0] == "put":
+                    effective = True
+        else:
+            for key, entry in coalesced.items():
+                if entry[0] == "put" or key in live:
+                    effective = True
+                    break
         if not effective:
             return BatchCommit(revision=None, events=(), existed=existed)
         self._revision += 1
@@ -237,7 +261,7 @@ class KVStore:
         for key, entry in coalesced.items():
             if entry[0] == "put":
                 events.append((key, apply_put(key, entry[1], fresh=entry[2])))
-            elif existed[key]:
+            elif existed[key] if want_existed else key in live:
                 self._apply_delete(key)
                 events.append((key, None))
         if self._on_mutation:

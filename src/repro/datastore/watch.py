@@ -146,7 +146,10 @@ class WatchHub:
         self._sim = sim
         self._delay = delay
         self._watches: list[Watch] = []
-        self._unsubscribe = store.subscribe_batch(self._on_commit)
+        # lazy store attachment: a hub with no registrations costs the
+        # commit path nothing (the common replay case — every commit used
+        # to pay a fan-out call that found zero watchers)
+        self._unsubscribe: Callable[[], None] | None = None
 
     def watch(
         self,
@@ -179,11 +182,15 @@ class WatchHub:
                 if events:
                     self._deliver(w, revision, events)
         self._watches.append(w)
+        if self._unsubscribe is None:
+            self._unsubscribe = self._store.subscribe_batch(self._on_commit)
         return w
 
     def close(self) -> None:
         """Detach from the store and drop every watch."""
-        self._unsubscribe()
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
         self._watches.clear()
 
     @property

@@ -11,6 +11,7 @@ Usage::
     python -m repro.experiments sweep --workers 4 --store .sweep-results
     python -m repro.experiments bench        # scheduler perf → BENCH_scheduler.json
     python -m repro.experiments bench-check  # gate the committed trajectory
+    python -m repro.experiments profile      # cProfile the 2k §V-A replay
 
 Grid targets route through the sharded sweep orchestrator
 (:mod:`repro.experiments.sweep`): ``--workers N`` fans the §V cells out
@@ -55,12 +56,16 @@ def main(argv: list[str] | None = None) -> int:
         "target",
         choices=[
             "table1", "fig4", "fig5", "fig6", "fig7", "ablations", "sweep",
-            "bench", "bench-check", "all",
+            "bench", "bench-check", "profile", "all",
         ],
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--bench-output", default=None, help="path for the bench JSON report"
+    )
+    parser.add_argument(
+        "--profile-requests", type=int, default=2000,
+        help="replay size for the profile target (default: the 2k §V-A replay)",
     )
     parser.add_argument(
         "--workers", type=int, default=1,
@@ -93,6 +98,12 @@ def main(argv: list[str] | None = None) -> int:
         from .bench import run_bench
 
         run_bench(args.bench_output)
+        return 0
+
+    if args.target == "profile":
+        from .bench import run_profile
+
+        run_profile(n_requests=args.profile_requests)
         return 0
 
     if args.target == "bench-check":

@@ -25,15 +25,22 @@ fresh subprocess with a cold store, plus a resume pass against the
 figure payload at each worker count — identical hashes prove the sharded
 and sequential grids produce byte-identical figure inputs.
 
+The ``pass_elision`` section replays the same workloads with the
+dirty-signal elision engine on and off: the elided-pass fraction proves
+the guard layer engages on the paper's workload, and the per-action
+times document what skipping provably no-op passes buys end to end.
+
 ``check_bench`` (``make bench-check``) gates the committed trajectory: the
 20k/2k pass-cost ratio must stay under 3× (the index fast path's
 sublinearity), the batched path must stay at ~1 revision per scheduling
-action, the sweep's merged payloads must hash identically across worker
-counts, a resume of a completed sweep must finish from cache in under a
-second, and — when the recording machine has the cores to parallelize
-(≥2) — the 4-worker grid must be ≥1.5× faster than sequential.  Each PR
-re-runs it, so the repository carries a perf trajectory instead of
-anecdotes.
+action, ≥30% of scheduling passes must be elided on the 2k §V-A replay,
+the 2k replay's ``run_s`` must stay at or below 0.75× the PR 4 committed
+value with no req/s regression at any size, the sweep's merged payloads
+must hash identically across worker counts, a resume of a completed
+sweep must finish from cache in under a second, and — when the recording
+machine has the cores to parallelize (≥2) — the 4-worker grid must be
+≥1.5× faster than sequential.  Each PR re-runs it, so the repository
+carries a perf trajectory instead of anecdotes.
 """
 
 from __future__ import annotations
@@ -52,6 +59,7 @@ __all__ = [
     "check_bench",
     "seeded_workload",
     "measure_end_to_end",
+    "measure_pass_elision",
     "measure_sweep_scaling",
     "DEFAULT_OUTPUT",
 ]
@@ -310,6 +318,94 @@ def measure_sweep_scaling(root: Path | None = None) -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# Pass-elision trajectory
+# ----------------------------------------------------------------------
+#: PR 4's committed end_to_end numbers (this container class): the elision
+#: gates are anchored to them — 2k run_s must drop to ≤ 0.75× and req/s
+#: must not regress at any size.
+_PR4_E2E = {
+    "2000": {"run_s": 0.1482, "requests_per_sec": 11595.1},
+    "20000": {"run_s": 1.7434, "requests_per_sec": 11400.9},
+    "100000": {"run_s": 9.6331, "requests_per_sec": 10338.9},
+}
+
+# child-process body: one §V-A replay with elision on or off, reporting
+# wall time plus the engine's action/pass counters
+_ELISION_CHILD_CODE = """
+import json, sys, time
+n = int(sys.argv[1]); elide = sys.argv[2] == "on"
+from repro.traces.azure import SyntheticAzureTrace
+from repro.traces.workload import WorkloadSpec, build_workload
+from repro.runtime import FaaSCluster, SystemConfig
+minutes = max(1, round(n / 325))
+workload = build_workload(WorkloadSpec(working_set=15, minutes=minutes),
+                          trace=SyntheticAzureTrace())
+system = FaaSCluster(SystemConfig(pass_elision=elide))
+t0 = time.perf_counter()
+system.submit_workload(workload)
+system.run()
+run_s = time.perf_counter() - t0
+s = system.scheduler
+print(json.dumps({
+    "requests": len(workload),
+    "run_s": round(run_s, 4),
+    "actions": s.actions,
+    "passes_executed": s.passes_executed,
+    "passes_elided": s.passes_elided,
+    "per_action_us": round(run_s / s.actions * 1e6, 2),
+}))
+"""
+
+
+def _elision_replay(root: Path, n_requests: int, *, elide: bool) -> dict:
+    env = dict(os.environ)
+    src = str(root / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", _ELISION_CHILD_CODE, str(n_requests),
+         "on" if elide else "off"],
+        cwd=root, env=env, capture_output=True, text=True, timeout=900,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(f"elision replay failed:\n{proc.stderr}")
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def measure_pass_elision(root: Path | None = None) -> dict:
+    """§V-A replays with the elision engine on vs off at 2k/20k/100k.
+
+    Records the elided-pass fraction (the signal that the guard layer
+    actually engages on the paper's workload) and per-action wall time
+    under each engine, each replay in a fresh subprocess.
+    """
+    root = root or _repo_root()
+    sizes: dict[str, dict] = {}
+    for n in _E2E_SIZES:
+        on = _elision_replay(root, n, elide=True)
+        off = _elision_replay(root, n, elide=False)
+        considered = on["passes_elided"] + on["passes_executed"]
+        sizes[str(n)] = {
+            "requests": on["requests"],
+            "actions": on["actions"],
+            "passes_executed": on["passes_executed"],
+            "passes_elided": on["passes_elided"],
+            "elided_fraction": round(on["passes_elided"] / considered, 4),
+            "run_s_elision_on": on["run_s"],
+            "run_s_elision_off": off["run_s"],
+            "per_action_us_elision_on": on["per_action_us"],
+            "per_action_us_elision_off": off["per_action_us"],
+            # with elision off every considered pass executes
+            "passes_executed_elision_off": off["passes_executed"],
+        }
+    return {
+        "workload": "§V-A working-set-15, 325 req/min, paper testbed",
+        "sizes": sizes,
+    }
+
+
 DEFAULT_OUTPUT = "BENCH_scheduler.json"
 _SUITE = Path("benchmarks") / "test_scheduler_overhead.py"
 #: end-to-end fig4 runs ride along so the trajectory also tracks whole-
@@ -383,6 +479,7 @@ def run_bench(output: str | None = None, *, verbose: bool = True) -> dict:
         ),
         "write_amplification": measure_write_amplification(),
         "end_to_end": measure_end_to_end(root),
+        "pass_elision": measure_pass_elision(root),
         "sweep_scaling": measure_sweep_scaling(root),
         "benchmarks": dict(sorted(benchmarks.items())),
     }
@@ -408,6 +505,13 @@ def run_bench(output: str | None = None, *, verbose: bool = True) -> dict:
                 f"{cell['requests_per_sec']:>9,.0f} req/s  "
                 f"rss {cell['peak_rss_mb']:6.1f} MB{extra}"
             )
+        for n, cell in report["pass_elision"]["sizes"].items():
+            print(
+                f"  pass elision {int(n):>7,} req: "
+                f"{cell['elided_fraction'] * 100:5.1f}% elided  "
+                f"{cell['per_action_us_elision_off']:6.1f} -> "
+                f"{cell['per_action_us_elision_on']:6.1f} us/action"
+            )
         sweep = report["sweep_scaling"]
         for n, cell in sweep["workers"].items():
             print(
@@ -424,11 +528,44 @@ def run_bench(output: str | None = None, *, verbose: bool = True) -> dict:
     return report
 
 
+def run_profile(n_requests: int = 2000, top: int = 25) -> None:
+    """cProfile the §V-A replay and print the top cumulative functions.
+
+    ``make profile`` — the tool that found every hot spot so far (index
+    scans, batched txns, columnar replay, pass elision); run it before
+    hunting the next one.
+    """
+    import cProfile
+    import pstats
+
+    from ..runtime import FaaSCluster, SystemConfig
+    from ..traces.azure import SyntheticAzureTrace
+    from ..traces.workload import WorkloadSpec, build_workload
+
+    minutes = max(1, round(n_requests / 325))
+    workload = build_workload(
+        WorkloadSpec(working_set=15, minutes=minutes), trace=SyntheticAzureTrace()
+    )
+    system = FaaSCluster(SystemConfig())
+    system.submit_workload(workload)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    system.run()
+    profiler.disable()
+    print(
+        f"§V-A replay, {len(workload)} requests, "
+        f"{len(system.completed)} completed — top {top} by cumulative time:"
+    )
+    pstats.Stats(profiler).sort_stats("cumulative").print_stats(top)
+
+
 #: bench-check gates (ROADMAP "BENCH trajectory")
 _MAX_DEPTH_RATIO = 3.0            # pass cost 20k-deep / 2k-deep
 _REVISIONS_PER_ACTION = (0.8, 1.3)  # batched path must stay at ~1
 _MIN_SWEEP_SPEEDUP_4W = 1.5       # grid speedup at 4 workers (needs >= 2 cores)
 _MAX_SWEEP_RESUME_S = 1.0         # cache-hit resume of a completed sweep
+_MIN_ELIDED_FRACTION = 0.30       # §V-A 2k replay: guard must engage
+_MAX_2K_RUN_VS_PR4 = 0.75         # 2k run_s must stay ≤ 0.75× PR 4's 0.1482 s
 
 
 def check_bench(path: str | None = None) -> list[str]:
@@ -472,6 +609,36 @@ def check_bench(path: str | None = None) -> list[str]:
             f"batched revisions per scheduling action = {rpa} "
             f"(expected ~1, allowed [{lo}, {hi}])"
         )
+    elision = report.get("pass_elision", {}).get("sizes", {})
+    if not elision:
+        problems.append("pass_elision section missing")
+    else:
+        cell_2k = elision.get("2000", {})
+        fraction = cell_2k.get("elided_fraction", 0.0)
+        if fraction < _MIN_ELIDED_FRACTION:
+            problems.append(
+                f"elided-pass fraction on the 2k §V-A replay = {fraction} "
+                f"(gate ≥ {_MIN_ELIDED_FRACTION}: the guard layer must engage)"
+            )
+    e2e = report.get("end_to_end", {}).get("sizes", {})
+    run_2k = e2e.get("2000", {}).get("run_s")
+    budget = round(_PR4_E2E["2000"]["run_s"] * _MAX_2K_RUN_VS_PR4, 4)
+    if run_2k is None:
+        problems.append("end_to_end 2k run_s missing")
+    elif run_2k > budget:
+        problems.append(
+            f"2k §V-A replay run_s = {run_2k} s "
+            f"(gate ≤ {budget} s = 0.75× the PR 4 committed {_PR4_E2E['2000']['run_s']} s)"
+        )
+    for size, pr4 in _PR4_E2E.items():
+        rps = e2e.get(size, {}).get("requests_per_sec")
+        if rps is None:
+            problems.append(f"end_to_end {size} requests_per_sec missing")
+        elif rps < pr4["requests_per_sec"]:
+            problems.append(
+                f"{size}-request replay throughput {rps} req/s regressed below "
+                f"the PR 4 committed {pr4['requests_per_sec']} req/s"
+            )
     sweep = report.get("sweep_scaling")
     if not sweep:
         problems.append("sweep_scaling section missing")

@@ -3,8 +3,13 @@
 Layout (everything under one *store root* directory)::
 
     <root>/
-      store.meta.json          # {"store": "repro-sweep-results", "version": 1}
+      store.meta.json          # {"store": ..., "version": 1, "code_fingerprint": ...}
       cells/<cell_id>.json     # one finished cell per file
+
+Opening a store whose recorded ``code_fingerprint`` does not match the
+running sources raises :class:`StoreVersionError`: cell IDs hash
+configuration only, so without the fingerprint a store left over from an
+older checkout would silently serve stale results.
 
 Each cell file is self-describing: the cell's canonical configuration
 payload (the same dict its content-hash ID was derived from), the full
@@ -23,15 +28,23 @@ property the sweep determinism tests (workers=1 vs. workers=N) assert.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
 from dataclasses import asdict, dataclass
+from functools import lru_cache
 from pathlib import Path
 
 from ..metrics.summary import RunSummary
 
-__all__ = ["CellResult", "ResultStore", "StoreVersionError", "STORE_VERSION"]
+__all__ = [
+    "CellResult",
+    "ResultStore",
+    "StoreVersionError",
+    "STORE_VERSION",
+    "source_fingerprint",
+]
 
 #: bump when the cell-file layout changes incompatibly
 STORE_VERSION = 1
@@ -42,7 +55,34 @@ _STORE_KIND = "repro-sweep-results"
 
 
 class StoreVersionError(RuntimeError):
-    """The store on disk was written by an incompatible layout version."""
+    """The store on disk was written by an incompatible layout version
+    (or by a different version of the *code* — see
+    :func:`source_fingerprint`)."""
+
+
+@lru_cache(maxsize=1)
+def source_fingerprint() -> str:
+    """Content hash of the installed ``repro`` package sources.
+
+    Cell IDs hash *configuration* only: results are assumed to be
+    deterministic functions of their config, which stops being true the
+    moment the simulator or scheduler changes.  The store folds this
+    fingerprint into its metadata so resuming against a store written by
+    an older checkout is **detected** (a :class:`StoreVersionError`)
+    instead of silently serving stale figures.
+
+    The hash covers every ``.py`` file under the package root, keyed by
+    relative path, so it is stable across machines and working
+    directories for identical sources.
+    """
+    package_root = Path(__file__).resolve().parents[1]
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
 
 
 @dataclass(frozen=True)
@@ -111,6 +151,7 @@ class ResultStore:
         self._cells = self.root / _CELLS_DIR
         self._cells.mkdir(parents=True, exist_ok=True)
         meta_path = self.root / _META_NAME
+        fingerprint = source_fingerprint()
         if meta_path.exists():
             meta = json.loads(meta_path.read_text())
             if meta.get("store") != _STORE_KIND:
@@ -120,9 +161,25 @@ class ResultStore:
                     f"store version {meta.get('version')!r} != supported "
                     f"{STORE_VERSION}; use a fresh --store directory"
                 )
+            if meta.get("code_fingerprint") != fingerprint:
+                # cell IDs hash config, not code: results from an older
+                # checkout would be silently reused otherwise
+                raise StoreVersionError(
+                    f"{self.root} was written by a different code version "
+                    f"(fingerprint {meta.get('code_fingerprint')!r} != current "
+                    f"{fingerprint!r}); sweep results are functions of the "
+                    "code too — use a fresh --store directory"
+                )
         else:
             self._atomic_write(
-                meta_path, _dumps({"store": _STORE_KIND, "version": STORE_VERSION})
+                meta_path,
+                _dumps(
+                    {
+                        "store": _STORE_KIND,
+                        "version": STORE_VERSION,
+                        "code_fingerprint": fingerprint,
+                    }
+                ),
             )
 
     # ------------------------------------------------------------------

@@ -11,8 +11,9 @@ The collector observes two event streams:
 
 Storage is **columnar**: every completion appends one row of scalars
 (arrival / dispatch / completion stamps, interned model / GPU /
-architecture codes, hit and SLA outcomes) to typed NumPy buffers grown
-geometrically, alongside the request-object list kept for drill-down.
+architecture codes, hit and SLA outcomes) to per-column append buffers,
+materialized into typed NumPy arrays lazily when read, alongside the
+request-object list kept for drill-down.
 :mod:`~repro.metrics.summary` reduces those columns with vectorized NumPy
 instead of per-request Python loops, and the per-model / miss counters are
 maintained *running* on :meth:`MetricsCollector.on_complete`, so queries
@@ -83,9 +84,6 @@ class _Interner:
         return c
 
 
-_INITIAL_CAPACITY = 1024
-
-
 class MetricsCollector:
     """Accumulates per-request and cache-residency statistics."""
 
@@ -103,21 +101,19 @@ class MetricsCollector:
         self.miss_count = 0
         self.false_miss_count = 0
         self._invocations: dict[str, int] = {}  # model_id -> completions
-        # columnar completion buffers, grown geometrically
+        # columnar completion buffers: plain Python lists on the append
+        # path (a NumPy scalar store costs several times a list append,
+        # and this runs once per completion), materialized into typed
+        # arrays lazily — and cached — when the columns are read
         self._models = _Interner()
         self._gpus = _Interner()
         self._archs = _Interner()
         self._n = 0
-        self._capacity = _INITIAL_CAPACITY
-        self._arrival = np.empty(self._capacity, dtype=np.float64)
-        self._dispatched = np.empty(self._capacity, dtype=np.float64)
-        self._completed_at = np.empty(self._capacity, dtype=np.float64)
-        self._model_code = np.empty(self._capacity, dtype=np.int32)
-        self._gpu_code = np.empty(self._capacity, dtype=np.int32)
-        self._arch_code = np.empty(self._capacity, dtype=np.int32)
-        self._cache_hit = np.empty(self._capacity, dtype=np.int8)
-        self._false_miss = np.empty(self._capacity, dtype=bool)
-        self._sla = np.empty(self._capacity, dtype=np.float64)
+        #: one 9-field row tuple per completion (a single append beats
+        #: nine per-column appends on the completion path); split into
+        #: typed arrays lazily by columns()
+        self._rows: list[tuple] = []
+        self._columns_cache: CompletionColumns | None = None
 
     # ------------------------------------------------------------------
     # Observers
@@ -133,32 +129,18 @@ class MetricsCollector:
             self.miss_count += 1
         if request.false_miss:
             self.false_miss_count += 1
-        i = self._n
-        if i == self._capacity:
-            self._grow()
-        self._arrival[i] = request.arrival_time
-        self._dispatched[i] = (
-            request.dispatched_at if request.dispatched_at is not None else np.nan
-        )
-        self._completed_at[i] = request.completed_at
-        self._model_code[i] = self._models.code(model_id)
-        self._gpu_code[i] = self._gpus.code(request.gpu_id or "?")
-        self._arch_code[i] = self._archs.code(request.model.architecture)
-        self._cache_hit[i] = -1 if hit is None else (1 if hit else 0)
-        self._false_miss[i] = request.false_miss
-        self._sla[i] = request.sla_s if request.sla_s is not None else np.nan
-        self._n = i + 1
-
-    def _grow(self) -> None:
-        self._capacity *= 2
-        for name in (
-            "_arrival", "_dispatched", "_completed_at", "_model_code",
-            "_gpu_code", "_arch_code", "_cache_hit", "_false_miss", "_sla",
-        ):
-            old = getattr(self, name)
-            new = np.empty(self._capacity, dtype=old.dtype)
-            new[: self._n] = old[: self._n]
-            setattr(self, name, new)
+        self._rows.append((
+            request.arrival_time,
+            request.dispatched_at if request.dispatched_at is not None else np.nan,
+            request.completed_at,
+            self._models.code(model_id),
+            self._gpus.code(request.gpu_id or "?"),
+            self._archs.code(request.model.architecture),
+            -1 if hit is None else (1 if hit else 0),
+            request.false_miss,
+            request.sla_s if request.sla_s is not None else np.nan,
+        ))
+        self._n += 1
 
     def on_cache_event(self, kind: str, gpu_id: str, model_id: str, now: float) -> None:
         self.cache_events += 1
@@ -199,19 +181,34 @@ class MetricsCollector:
         return self._archs.names
 
     def columns(self) -> CompletionColumns:
-        """Read-only views of the completion columns (zero-copy trims)."""
-        n = self._n
-        return CompletionColumns(
-            arrival=self._arrival[:n],
-            dispatched=self._dispatched[:n],
-            completed=self._completed_at[:n],
-            model=self._model_code[:n],
-            gpu=self._gpu_code[:n],
-            architecture=self._arch_code[:n],
-            cache_hit=self._cache_hit[:n],
-            false_miss=self._false_miss[:n],
-            sla_s=self._sla[:n],
+        """Typed array views of the completion columns.
+
+        Materialized from the append buffers on demand and cached until
+        the next completion, so the several summarize/breakdown consumers
+        of one finished run convert each column exactly once.
+        """
+        cached = self._columns_cache
+        if cached is not None and len(cached) == self._n:
+            return cached
+        if self._rows:
+            (arrival, dispatched, completed, model, gpu, arch,
+             cache_hit, false_miss, sla) = zip(*self._rows)
+        else:
+            arrival = dispatched = completed = model = gpu = arch = ()
+            cache_hit = false_miss = sla = ()
+        cols = CompletionColumns(
+            arrival=np.asarray(arrival, dtype=np.float64),
+            dispatched=np.asarray(dispatched, dtype=np.float64),
+            completed=np.asarray(completed, dtype=np.float64),
+            model=np.asarray(model, dtype=np.int32),
+            gpu=np.asarray(gpu, dtype=np.int32),
+            architecture=np.asarray(arch, dtype=np.int32),
+            cache_hit=np.asarray(cache_hit, dtype=np.int8),
+            false_miss=np.asarray(false_miss, dtype=bool),
+            sla_s=np.asarray(sla, dtype=np.float64),
         )
+        self._columns_cache = cols
+        return cols
 
     # ------------------------------------------------------------------
     # Queries

@@ -83,7 +83,12 @@ class FaaSCluster:
                 datastore=self.datastore.client(),
                 on_idle=self._on_gpu_idle,
                 on_complete=self._on_request_complete,
-                on_dispatch=self._on_request_dispatch,
+                # only tenancy observes dispatches; without it the managers
+                # keep their no-op default instead of calling a wrapper
+                # that checks for None once per dispatch
+                on_dispatch=(
+                    self._on_request_dispatch if self.tenancy is not None else None
+                ),
             )
 
         policy = make_scheduling_policy(self.config.policy, o3_limit=self.config.o3_limit)
@@ -96,7 +101,13 @@ class FaaSCluster:
             self._managers,
             datastore=self.datastore.client(),
             tenancy=self.tenancy,
+            pass_elision=self.config.pass_elision,
         )
+        # rebind the managers' idle callback straight onto the scheduler:
+        # the _on_gpu_idle wrapper only forwarded, and the hop runs once
+        # per completion
+        for manager in self._managers.values():
+            manager.on_idle = self.scheduler.on_gpu_idle
         # commit construction-time writes (initial GPU statuses) so watchers
         # registered after build observe only post-build changes, exactly as
         # they would against the unbatched write path
@@ -132,8 +143,9 @@ class FaaSCluster:
         self.metrics.on_complete(request)
         if self.tenancy is not None:
             self.tenancy.on_request_complete(request)
-        for listener in list(self._completion_listeners):
-            listener(request)
+        if self._completion_listeners:  # skip the defensive copy when empty
+            for listener in list(self._completion_listeners):
+                listener(request)
 
     def subscribe_completion(self, listener) -> None:
         """Register a callback invoked with every completed request."""

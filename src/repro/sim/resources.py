@@ -51,13 +51,17 @@ class IntervalAccumulator:
     """Accumulates time spent in named states.
 
     Used to account for the fraction of wall time a GPU spends in
-    ``"infer"`` (SM busy), ``"load"`` (PCIe busy, SM idle), and ``"idle"``.
-    The current state is open-ended until :meth:`switch` or :meth:`close`.
+    inference (SM busy), loading (PCIe busy, SM idle), and idle.  States
+    are arbitrary hashable labels; the GPU device passes its state enum's
+    interned *value strings* (read via ``_value_`` — both ``Enum.value``
+    and ``Enum.__hash__`` are Python-level and showed up on the
+    per-transition path).  The current state is open-ended until
+    :meth:`switch` or :meth:`close`.
     """
 
     sim: Simulator
-    state: str = "idle"
-    totals: dict[str, float] = field(default_factory=dict)
+    state: Any = "idle"
+    totals: dict[Any, float] = field(default_factory=dict)
     _since: float = 0.0
     _started: bool = False
 
@@ -71,11 +75,12 @@ class IntervalAccumulator:
         if not self._started:
             self.start(state)
             return
-        elapsed = self.sim.now - self._since
+        now = self.sim._now  # hot path: one read, no property call
+        elapsed = now - self._since
         if elapsed > 0:
             self.totals[self.state] = self.totals.get(self.state, 0.0) + elapsed
         self.state = state
-        self._since = self.sim.now
+        self._since = now
 
     def close(self) -> dict[str, float]:
         """Finalize the open interval and return a copy of the totals."""

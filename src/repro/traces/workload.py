@@ -129,14 +129,12 @@ class Workload:
             fids = self.function_ids
             instances = self.instances
             batch, tenant, sla = spec.batch_size, self.tenant, spec.sla_s
+            # positional construction: this builds every request of a
+            # replay inside the measured window, and CPython binds seven
+            # keyword arguments measurably slower than positionals
             self._requests = [
                 InferenceRequest(
-                    function_name=(fid := fids[fi]),
-                    model=instances[fid],
-                    arrival_time=t,
-                    batch_size=batch,
-                    tenant=tenant,
-                    sla_s=sla,
+                    (fid := fids[fi]), instances[fid], t, batch, None, tenant, sla
                 )
                 for t, fi in zip(self.arrival_times.tolist(), self.function_index.tolist())
             ]

@@ -55,12 +55,21 @@ def _architecture(fn_idx: int) -> str:
     return names[fn_idx % len(names)]
 
 
-def _run(policy: str, fast: bool, spec, *, fail_gpu_at: float | None = None):
+def _run(
+    policy: str,
+    fast: bool,
+    spec,
+    *,
+    fail_gpu_at: float | None = None,
+    elide: bool = True,
+):
     """Run the workload; return the decision log keyed by submission index."""
     from repro.core.request import InferenceRequest
 
     system = FaaSCluster(
-        SystemConfig(cluster=ClusterSpec.homogeneous(2, 4), policy=policy)
+        SystemConfig(
+            cluster=ClusterSpec.homogeneous(2, 4), policy=policy, pass_elision=elide
+        )
     )
     system.scheduler.policy.use_fast_path = fast
     instances = [
@@ -104,6 +113,29 @@ def test_fast_path_matches_reference_after_failure():
     assert any(kind.value == "resubmit" for _, kind, *_ in fast)
 
 
+@pytest.mark.parametrize("policy", POLICIES)
+def test_elision_and_fast_path_matrix_identical(policy):
+    """All four engine configurations — (fast, elision) × (on, off) — must
+    produce the same decision sequence; the literal scans with the literal
+    always-pass engine are the reference corner."""
+    spec = _workload(SEED + 6, n_requests=800)
+    reference = _run(policy, fast=False, spec=spec, elide=False)
+    for fast, elide in ((True, True), (True, False), (False, True)):
+        assert _run(policy, fast=fast, spec=spec, elide=elide) == reference
+
+
+def test_elision_matches_reference_after_failure():
+    """The elision engine must stay byte-identical through a mid-run GPU
+    failure: resubmits re-enter via push_sorted and the guard must keep
+    admitting passes while resubmitted work is dispatchable."""
+    spec = _workload(SEED + 7, n_requests=600)
+    fail_at = spec[250][1]
+    reference = _run("lalbo3", fast=False, spec=spec, fail_gpu_at=fail_at, elide=False)
+    elided = _run("lalbo3", fast=True, spec=spec, fail_gpu_at=fail_at, elide=True)
+    assert elided == reference
+    assert any(kind.value == "resubmit" for _, kind, *_ in elided)
+
+
 def test_fast_path_is_the_default():
     from repro.core.policies import make_scheduling_policy
 
@@ -111,7 +143,15 @@ def test_fast_path_is_the_default():
         assert make_scheduling_policy(policy).use_fast_path is True
 
 
-def _run_tenant(policy: str, fast: bool, spec, quotas, *, n_functions: int = N_FUNCTIONS):
+def _run_tenant(
+    policy: str,
+    fast: bool,
+    spec,
+    quotas,
+    *,
+    n_functions: int = N_FUNCTIONS,
+    elide: bool = True,
+):
     """Run the workload with a TenancyController installed.
 
     Every third function belongs to tenant ``"capped"`` (the quota'd one);
@@ -123,7 +163,10 @@ def _run_tenant(policy: str, fast: bool, spec, quotas, *, n_functions: int = N_F
 
     system = FaaSCluster(
         SystemConfig(
-            cluster=ClusterSpec.homogeneous(2, 4), policy=policy, quotas=quotas
+            cluster=ClusterSpec.homogeneous(2, 4),
+            policy=policy,
+            quotas=quotas,
+            pass_elision=elide,
         )
     )
     system.scheduler.policy.use_fast_path = fast
@@ -193,6 +236,25 @@ class TestTenancyFastPath:
             fast_log, fast_done, _ = _run_tenant("lb", True, spec, quotas)
             assert fast_log == ref_log
             assert fast_done == ref_done
+
+
+def test_quota_scenarios_identical_with_elision_on_and_off():
+    """§VI isolation: with a binding tenant quota (admission probes can
+    refuse) the elided engine must still match the literal one exactly —
+    the guard never skips a pass that tenancy state could turn into a
+    decision."""
+    from repro.core.tenancy import TenantQuota
+
+    spec = _workload(SEED + 8, n_requests=800)
+    for quota in (TenantQuota(max_processes=2), TenantQuota(max_processes=100)):
+        quotas = {"capped": quota}
+        on_log, on_done, _ = _run_tenant("lalbo3", True, spec, quotas, elide=True)
+        off_log, off_done, _ = _run_tenant("lalbo3", True, spec, quotas, elide=False)
+        assert on_log == off_log
+        # a binding quota may legitimately strand requests (they stay
+        # queued until the tenant's usage drops); both engines must
+        # strand exactly the same ones
+        assert on_done == off_done
 
 
 def test_o3_visits_identical_under_both_scans():

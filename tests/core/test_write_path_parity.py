@@ -37,12 +37,13 @@ def _architecture(fn_idx: int) -> str:
     return names[fn_idx % len(names)]
 
 
-def _run(batched: bool, spec, *, fail_gpu_at: float | None = None):
+def _run(batched: bool, spec, *, fail_gpu_at: float | None = None, elide: bool = True):
     system = FaaSCluster(
         SystemConfig(
             cluster=ClusterSpec.homogeneous(2, 4),
             policy="lalbo3",
             datastore_batching=batched,
+            pass_elision=elide,
         )
     )
     instances = [
@@ -135,6 +136,18 @@ class TestBatchedWritePathParity:
 
     def test_batching_is_the_default(self):
         assert SystemConfig().datastore_batching is True
+
+    def test_pass_elision_dimension_preserves_decisions_and_state(self):
+        """Pass elision composes with both write paths: every combination
+        of (batched, elision) commits the same final Datastore state and
+        decision sequence, including through a GPU failure."""
+        spec = _workload(SEED + 1, n_requests=1200)
+        fail_at = spec[500][1]
+        _, ref_dec, ref_state = _run(True, spec, fail_gpu_at=fail_at, elide=False)
+        for batched in (True, False):
+            _, dec, state = _run(batched, spec, fail_gpu_at=fail_at, elide=True)
+            assert dec == ref_dec
+            assert state == ref_state
 
 
 class TestIncrementalEstimatorParity:

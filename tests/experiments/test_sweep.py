@@ -116,6 +116,34 @@ class TestStore:
         with pytest.raises(StoreVersionError):
             ResultStore(root)
 
+    def test_stale_code_fingerprint_is_detected(self, tmp_path):
+        """Cell IDs hash config, not code: a store written by a different
+        code version must be rejected instead of silently reused."""
+        from repro.experiments.store import StoreVersionError, source_fingerprint
+
+        root = tmp_path / "store"
+        ResultStore(root)  # writes the current fingerprint
+        ResultStore(root)  # same code: reopens fine
+        meta = root / "store.meta.json"
+        payload = json.loads(meta.read_text())
+        assert payload["code_fingerprint"] == source_fingerprint()
+        payload["code_fingerprint"] = "0123456789abcdef"  # an older checkout
+        meta.write_text(json.dumps(payload))
+        with pytest.raises(StoreVersionError, match="code version"):
+            ResultStore(root)
+        # a pre-fingerprint store (no field at all) is stale by definition
+        del payload["code_fingerprint"]
+        meta.write_text(json.dumps(payload))
+        with pytest.raises(StoreVersionError, match="code version"):
+            ResultStore(root)
+
+    def test_source_fingerprint_is_stable_within_a_session(self):
+        from repro.experiments.store import source_fingerprint
+
+        a = source_fingerprint()
+        assert a == source_fingerprint()
+        assert len(a) == 16 and int(a, 16) >= 0
+
     def test_timeline_matrix_shape(self):
         cell = SweepCell(
             config=replace(BASE, working_set=4), trace=TRACE_CFG, timeline_period_s=10.0
