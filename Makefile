@@ -52,7 +52,9 @@ figures:
 ##   make sweep                           # 4 workers, store .sweep-results
 ##   make sweep WORKERS=8                 # wider pool
 ##   make sweep SWEEP_STORE=/tmp/cells    # elsewhere
+##   make sweep FAULTS="none recoverable" # add the chaos axis (docs/robustness.md)
 WORKERS ?= 4
 SWEEP_STORE ?= .sweep-results
+FAULTS ?=
 sweep:
-	python -m repro.experiments sweep --workers $(WORKERS) --store $(SWEEP_STORE) --resume
+	python -m repro.experiments sweep --workers $(WORKERS) --store $(SWEEP_STORE) --resume $(if $(FAULTS),--fault-profiles $(FAULTS))

@@ -30,11 +30,14 @@ Package map
 ``repro.datastore``   etcd-like store: MVCC KV, watches, leases, txns
 ``repro.models``      Table I zoo, profiles, NumPy CNN engine, profiler
 ``repro.traces``      synthetic Azure trace, workload extraction, datasets
+``repro.chaos``       deterministic fault injection: seeded FaultPlans,
+                      the chaos injector, the lease-backed health watchdog
 ``repro.metrics``     per-run collection and §V metric summaries
 ``repro.experiments`` regenerates every table and figure of §V
 ====================  =====================================================
 """
 
+from .chaos import FaultPlan, build_fault_plan
 from .cluster import PAPER_TESTBED, ClusterSpec, GPUTypeSpec
 from .core import (
     InferenceRequest,
@@ -53,6 +56,8 @@ from .traces import SyntheticAzureTrace, Workload, WorkloadSpec, build_workload
 __version__ = "1.0.0"
 
 __all__ = [
+    "FaultPlan",
+    "build_fault_plan",
     "PAPER_TESTBED",
     "ClusterSpec",
     "GPUTypeSpec",

@@ -24,6 +24,8 @@ class DecisionKind(enum.Enum):
     DISPATCH_LOCAL = "dispatch_local"      # served from a GPU's local queue
     MOVE_TO_LOCAL = "move_to_local"        # Alg. 2 line 12: wait beats load
     RESUBMIT = "resubmit"                  # failure handling: back to global queue
+    TIMEOUT = "timeout"                    # per-request deadline expired while queued
+    LOST = "lost"                          # retry budget exhausted; request dropped
 
 
 class Decision(NamedTuple):

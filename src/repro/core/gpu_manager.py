@@ -72,6 +72,7 @@ class GPUManager:
         on_idle: Callable[[GPUDevice], None] | None = None,
         on_complete: Callable[[InferenceRequest], None] | None = None,
         on_dispatch: Callable[[InferenceRequest], None] | None = None,
+        on_drained: Callable[[GPUDevice], None] | None = None,
     ) -> None:
         self.sim = sim
         self.node = node
@@ -82,8 +83,14 @@ class GPUManager:
         self.on_idle = on_idle or (lambda gpu: None)
         self.on_complete = on_complete or (lambda req: None)
         self.on_dispatch = on_dispatch or (lambda req: None)
+        self.on_drained = on_drained or (lambda gpu: None)
         self._executing: dict[str, InferenceRequest] = {}  # gpu_id -> in-flight request
         self._pending_event: dict[str, object] = {}  # gpu_id -> scheduled sim Event
+        #: GPUs finishing their in-flight request before going offline
+        self._draining: set[str] = set()
+        #: straggler injection: gpu_id -> multiplicative slowdown on the
+        #: *actual* load/inference durations (absent = healthy)
+        self._slowdown: dict[str, float] = {}
         # per-GPU key strings, built once: status/finish-time puts happen on
         # every dispatch and completion
         self._status_key = {g.gpu_id: f"gpu/status/{g.gpu_id}" for g in node.gpus}
@@ -134,6 +141,10 @@ class GPUManager:
         gpu.begin_loading()
         load_t = self.estimator.load_time(request, gpu)
         infer_t = self.estimator.infer_time(request, gpu)
+        slow = self._slowdown.get(gpu.gpu_id)
+        if slow is not None:
+            load_t *= slow
+            infer_t *= slow
         self._publish_busy_until(gpu, self.sim._now + load_t + infer_t)
         self._pending_event[gpu.gpu_id] = self.sim.schedule(
             load_t, self._loaded, gpu, proc, request
@@ -152,6 +163,9 @@ class GPUManager:
         gpu.begin_inference()
         request.exec_start_at = self.sim._now
         infer_t = self.estimator.infer_time(request, gpu)
+        slow = self._slowdown.get(gpu.gpu_id)
+        if slow is not None:
+            infer_t *= slow
         self._publish_busy_until(gpu, self.sim._now + infer_t)
         self._pending_event[gpu.gpu_id] = self.sim.schedule(
             infer_t, self._finished, gpu, proc, request
@@ -159,12 +173,14 @@ class GPUManager:
 
     def _finished(self, gpu: GPUDevice, proc: GPUProcess, request: InferenceRequest) -> None:
         gpu_id = gpu.gpu_id
+        draining = gpu_id in self._draining
         proc.mark_done()
         # bump the use-frequency *before* the idle flip: the cluster's
         # incremental frequency-ordered idle view then files the GPU once,
         # at its final rank, instead of filing and re-filing
         gpu.completed_requests += 1
-        gpu.become_idle()
+        if not draining:
+            gpu.become_idle()
         request.state = RequestState.COMPLETED
         request.completed_at = self.sim._now
         # If the model instance carries a real NumPy network (examples do),
@@ -175,6 +191,16 @@ class GPUManager:
         del self._executing[gpu_id]
         self._pending_event.pop(gpu_id, None)
         self.estimator.clear_busy(gpu_id)
+        if draining:
+            # graceful drain completion: the request finished normally;
+            # now retire the GPU.  The LRU touch is skipped — every cache
+            # location is withdrawn in the same write batch as the status
+            # flip, so watchers see one atomic invalidation.
+            self._take_offline(gpu)
+            self._record_latency(request)
+            self.on_complete(request)
+            self.on_drained(gpu)
+            return
         self.cache.on_used(gpu_id, request.model_id)
         self._set_status(gpu, "idle")
         self._record_latency(request)
@@ -198,8 +224,39 @@ class GPUManager:
             raise ValueError(f"{gpu.gpu_id} is not managed by node {self.node.node_id}")
         event = self._pending_event.pop(gpu.gpu_id, None)
         if event is not None:
-            event.cancel()
+            event.cancel()  # O(1): frees the event's slab slot immediately
         inflight = self._executing.pop(gpu.gpu_id, None)
+        self._take_offline(gpu)
+        return inflight
+
+    def drain(self, gpu: GPUDevice) -> bool:
+        """Begin a graceful drain of ``gpu``.
+
+        Unlike :meth:`abort`, running work is allowed to finish: if a
+        request is in flight the GPU is marked draining (Datastore status
+        ``"draining"``) and retires itself on completion; otherwise it goes
+        offline immediately.  Either way its cached models are withdrawn
+        atomically with the status flip (one write batch).  Returns True
+        when retirement was deferred to the in-flight completion.
+
+        The caller owns the queues: drain the GPU's local queue and
+        re-queue the work (``FaaSCluster.drain_gpu`` does both, and again
+        via ``on_drained`` for anything bound during the drain window).
+        """
+        if gpu.node_id != self.node.node_id:
+            raise ValueError(f"{gpu.gpu_id} is not managed by node {self.node.node_id}")
+        if not gpu.is_online:
+            return False
+        if gpu.gpu_id in self._executing:
+            self._draining.add(gpu.gpu_id)
+            self._set_status(gpu, "draining")
+            return True
+        self._take_offline(gpu)
+        return False
+
+    def _take_offline(self, gpu: GPUDevice) -> None:
+        """Shared retirement path (crash abort / drain completion): kill
+        resident processes, withdraw cache locations, mark OFFLINE."""
         for model_id in gpu.resident_models():
             gpu.evict(model_id, force=True)
             # a model that was still uploading when the GPU died was never
@@ -209,13 +266,34 @@ class GPUManager:
         gpu.go_offline()
         self.estimator.clear_busy(gpu.gpu_id)
         self._set_status(gpu, "offline")
-        return inflight
+        self._draining.discard(gpu.gpu_id)
 
     def recover(self, gpu: GPUDevice) -> None:
         """Bring a failed GPU back, empty, and report it idle."""
         gpu.come_online()
         self._set_status(gpu, "idle")
         self.on_idle(gpu)
+
+    def is_draining(self, gpu_id: str) -> bool:
+        return gpu_id in self._draining
+
+    def set_slowdown(self, gpu_id: str, factor: float) -> None:
+        """Multiply this GPU's *actual* load/inference durations by
+        ``factor`` (straggler injection; 1.0 restores full speed).
+
+        The estimator's profiled expectations are untouched — the policies
+        keep planning with healthy numbers while the device underdelivers,
+        exactly the blind spot a real straggler creates — but the
+        busy-until estimates *published at dispatch time* reflect the
+        slowdown (the manager knows how long its own work will take).
+        Work already in flight keeps its original completion event.
+        """
+        if factor < 1.0:
+            raise ValueError("slowdown factor must be >= 1.0")
+        if factor == 1.0:
+            self._slowdown.pop(gpu_id, None)
+        else:
+            self._slowdown[gpu_id] = factor
 
     # ------------------------------------------------------------------
     # Datastore reporting (§III-C, §III-E)

@@ -27,6 +27,7 @@ class RequestState(enum.Enum):
     LOCAL_QUEUED = "local"     # moved to a busy GPU's local queue (Alg. 2 line 12)
     DISPATCHED = "dispatched"  # assigned to a GPU; loading or inferring
     COMPLETED = "completed"
+    LOST = "lost"              # dropped: deadline timeout or retry budget exhausted
 
 
 @dataclass(slots=True)
@@ -127,8 +128,10 @@ class InferenceRequest:
         Arrival time and O3 ``visits`` are preserved (fairness); everything
         the failed execution stamped is cleared.
         """
-        if self.state is RequestState.COMPLETED:
-            raise RuntimeError(f"request {self.request_id} already completed")
+        if self.state in (RequestState.COMPLETED, RequestState.LOST):
+            raise RuntimeError(
+                f"request {self.request_id} already {self.state.value}"
+            )
         self.state = RequestState.QUEUED
         self.gpu_id = None
         self.gpu_address = None

@@ -30,6 +30,17 @@ class Lease:
         self.expired = False
         self.revoked = False
         self._timer: Event | None = None
+        self._expiry_callbacks: list = []
+
+    def on_expire(self, fn) -> None:
+        """Register a callback fired when the lease *expires* (TTL runs out
+        without a refresh).  Explicit :meth:`revoke` does not fire it — a
+        clean shutdown is not a liveness failure.  Callbacks run after the
+        lease's keys are reaped, so watchers of those keys have already
+        been notified of the deletes."""
+        if not self.alive:
+            raise RuntimeError(f"lease {self.lease_id} is not alive")
+        self._expiry_callbacks.append(fn)
 
     @property
     def alive(self) -> bool:
@@ -78,6 +89,11 @@ class LeaseManager:
             return
         lease.expired = True
         self._reap(lease)
+        # liveness escalation: the health watchdog turns a missed-heartbeat
+        # expiry into scheduling action (go_offline).  Fired after the reap
+        # so the KV state already reflects the expiry.
+        for fn in lease._expiry_callbacks:
+            fn(lease)
 
     def _reap(self, lease: Lease) -> None:
         if lease._timer is not None:

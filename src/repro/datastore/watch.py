@@ -146,6 +146,15 @@ class WatchHub:
         self._sim = sim
         self._delay = delay
         self._watches: list[Watch] = []
+        # chaos windows (repro.chaos): while sim.now < _drop_until every
+        # matched delivery is dropped; while sim.now < _spike_until every
+        # delivery pays _spike_extra additional delay.  Both are 0.0 in
+        # healthy runs, so the commit path's only cost is two falsy tests.
+        self._drop_until = 0.0
+        self._spike_until = 0.0
+        self._spike_extra = 0.0
+        #: commit deliveries suppressed by a chaos drop window
+        self.chaos_dropped_batches = 0
         # lazy store attachment: a hub with no registrations costs the
         # commit path nothing (the common replay case — every commit used
         # to pay a fan-out call that found zero watchers)
@@ -186,6 +195,25 @@ class WatchHub:
             self._unsubscribe = self._store.subscribe_batch(self._on_commit)
         return w
 
+    def set_drop_window(self, until: float) -> None:
+        """Drop every watch delivery until simulated time ``until`` (chaos:
+        notification loss).  Dropped commits are *not* replayed afterwards —
+        mirrors stay stale until the next write to the same keys, exactly
+        like a real missed notification without a resync."""
+        if self._sim is None:
+            raise RuntimeError("a Simulator is required for chaos windows")
+        self._drop_until = max(self._drop_until, until)
+
+    def set_latency_spike(self, until: float, extra_delay_s: float) -> None:
+        """Add ``extra_delay_s`` to every delivery until simulated time
+        ``until`` (chaos: KV commit-latency spike as watchers observe it)."""
+        if self._sim is None:
+            raise RuntimeError("a Simulator is required for chaos windows")
+        if extra_delay_s <= 0:
+            raise ValueError("extra_delay_s must be positive")
+        self._spike_until = max(self._spike_until, until)
+        self._spike_extra = extra_delay_s
+
     def close(self) -> None:
         """Detach from the store and drop every watch."""
         if self._unsubscribe is not None:
@@ -212,6 +240,19 @@ class WatchHub:
     def _on_commit(self, revision: int, items: list[tuple[str, KeyValue | None]]) -> None:
         if not self._watches:
             return  # the common un-watched store: no event objects built
+        dropping = False
+        delay = self._delay
+        if self._drop_until:  # chaos windows; both 0.0 (falsy) when healthy
+            if self._sim is not None and self._sim.now < self._drop_until:
+                dropping = True
+            else:
+                self._drop_until = 0.0
+        if self._spike_until:
+            if self._sim is not None and self._sim.now < self._spike_until:
+                delay += self._spike_extra
+            else:
+                self._spike_until = 0.0
+                self._spike_extra = 0.0
         make = self._event
         for w in list(self._watches):
             if w.cancelled:
@@ -224,7 +265,10 @@ class WatchHub:
             )
             if not matched:
                 continue
-            if self._delay > 0:
+            if dropping:
+                self.chaos_dropped_batches += 1
+                continue
+            if delay > 0:
                 assert self._sim is not None
                 if w.max_pending is not None:
                     # backpressure: bounded per-watcher queue drained by a
@@ -232,12 +276,12 @@ class WatchHub:
                     w._enqueue(revision, matched)
                     if not w._drain_scheduled:
                         w._drain_scheduled = True
-                        self._sim.schedule(self._delay, self._drain, w)
+                        self._sim.schedule(delay, self._drain, w)
                 else:
                     # one delivery event per watch per commit — the
                     # coalescing win: a batch of N keys no longer
                     # schedules N callbacks
-                    self._sim.schedule(self._delay, self._deliver, w, revision, matched)
+                    self._sim.schedule(delay, self._deliver, w, revision, matched)
             else:
                 self._deliver(w, revision, matched)
 

@@ -23,8 +23,11 @@ served from cache.  ``--workers 1`` with no store is exactly the
 sequential path; figure data is byte-identical either way.
 
 The ``sweep`` target runs the declarative §V grid itself (axes:
-``--policies --working-sets --o3-limits --replacements --seeds``) and
-prints one summary row per cell, in deterministic cell-ID merge order.
+``--policies --working-sets --o3-limits --replacements --seeds
+--fault-profiles``) and prints one summary row per cell, in deterministic
+cell-ID merge order.  ``--fault-profiles recoverable`` replays the grid
+under the seeded chaos plan (see :mod:`repro.chaos` and
+``docs/robustness.md``).
 """
 
 from __future__ import annotations
@@ -90,6 +93,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--o3-limits", nargs="+", type=int, default=None, metavar="L")
     parser.add_argument("--replacements", nargs="+", default=None, metavar="R")
     parser.add_argument("--seeds", nargs="+", type=int, default=None, metavar="S")
+    parser.add_argument(
+        "--fault-profiles", nargs="+", default=None, metavar="F",
+        help="chaos axis: named fault profiles (none, recoverable, severe)",
+    )
     parser.add_argument("--minutes", type=int, default=None)
     parser.add_argument("--requests-per-minute", type=int, default=None)
     args = parser.parse_args(argv)
@@ -141,6 +148,8 @@ def main(argv: list[str] | None = None) -> int:
             overrides["seeds"] = tuple(args.seeds)
         elif args.seed:
             overrides["seeds"] = (args.seed,)
+        if args.fault_profiles is not None:
+            overrides["fault_profiles"] = tuple(args.fault_profiles)
         if args.minutes is not None:
             overrides["minutes"] = args.minutes
         if args.requests_per_minute is not None:

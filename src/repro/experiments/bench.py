@@ -30,12 +30,21 @@ dirty-signal elision engine on and off: the elided-pass fraction proves
 the guard layer engages on the paper's workload, and the per-action
 times document what skipping provably no-op passes buys end to end.
 
+The ``fault_replay`` section replays the 2k §V-A workload under the
+chaos subsystem's ``recoverable`` profile twice (identical decision-log
+SHAs prove seeded fault replay is deterministic) and once with faults
+disabled, recording the availability counters — lost requests, retries,
+faults injected, MTTR (see :mod:`repro.chaos` and ``docs/robustness.md``).
+
 ``check_bench`` (``make bench-check``) gates the committed trajectory: the
 20k/2k pass-cost ratio must stay under 3× (the index fast path's
 sublinearity), the batched path must stay at ~1 revision per scheduling
 action, ≥30% of scheduling passes must be elided on the 2k §V-A replay,
 the 2k replay's ``run_s`` must stay at or below 0.75× the PR 4 committed
-value with no req/s regression at any size, the sweep's merged payloads
+value with no req/s regression at any size, the recoverable-fault replay
+must complete every request (zero lost, bounded retries, deterministic
+decision log) while the faults-disabled replay holds the committed
+throughput, the sweep's merged payloads
 must hash identically across worker counts, a resume of a completed
 sweep must finish from cache in under a second, and — when the recording
 machine has the cores to parallelize (≥2) — the 4-worker grid must be
@@ -59,6 +68,7 @@ __all__ = [
     "check_bench",
     "seeded_workload",
     "measure_end_to_end",
+    "measure_fault_replay",
     "measure_pass_elision",
     "measure_sweep_scaling",
     "DEFAULT_OUTPUT",
@@ -319,6 +329,86 @@ def measure_sweep_scaling(root: Path | None = None) -> dict:
 
 
 # ----------------------------------------------------------------------
+# Fault-replay availability (chaos subsystem, docs/robustness.md)
+# ----------------------------------------------------------------------
+# child-process body: one 2k §V-A replay under a named fault profile,
+# reporting availability counters plus a SHA of the full decision log so
+# the parent can prove replay determinism by running it twice
+_FAULT_CHILD_CODE = """
+import hashlib, json, sys, time
+profile = sys.argv[1]
+from repro.traces.azure import SyntheticAzureTrace
+from repro.traces.workload import WorkloadSpec, build_workload
+from repro.runtime import FaaSCluster, SystemConfig
+minutes = max(1, round(2000 / 325))
+workload = build_workload(WorkloadSpec(working_set=15, minutes=minutes),
+                          trace=SyntheticAzureTrace())
+system = FaaSCluster(SystemConfig(fault_profile=profile))
+t0 = time.perf_counter()
+system.submit_workload(workload)
+system.run()
+run_s = time.perf_counter() - t0
+m = system.metrics
+decisions = "\\n".join(
+    f"{d.time_s!r}|{d.kind.value}|{d.request_id}|{d.model_id}|{d.gpu_id}|{d.visits}"
+    for d in system.scheduler.decisions
+)
+max_retries = max(
+    (r.retries for r in list(m.completed) + list(m.lost)), default=0
+)
+print(json.dumps({
+    "requests": len(workload),
+    "completed": len(m.completed),
+    "lost": m.lost_count,
+    "retries_total": m.retries_total,
+    "max_retries_per_request": max_retries,
+    "faults_injected": m.faults_injected,
+    "repairs": len(m.repairs),
+    "mean_mttr_s": round(m.mean_mttr(), 4),
+    "run_s": round(run_s, 4),
+    "requests_per_sec": round(len(workload) / run_s, 1),
+    "decision_sha": hashlib.sha256(decisions.encode()).hexdigest()[:16],
+}))
+"""
+
+
+def _fault_replay(root: Path, profile: str) -> dict:
+    env = dict(os.environ)
+    src = str(root / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", _FAULT_CHILD_CODE, profile],
+        cwd=root, env=env, capture_output=True, text=True, timeout=900,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(f"fault replay ({profile}) failed:\n{proc.stderr}")
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def measure_fault_replay(root: Path | None = None) -> dict:
+    """2k §V-A replays under the chaos profiles (availability trajectory).
+
+    The ``recoverable`` profile runs twice in separate processes; identical
+    decision-log SHAs prove the seeded fault replay is deterministic.  The
+    ``none`` profile replays the same workload through the identical code
+    path with chaos disarmed, so ``check_bench`` can gate "faults off costs
+    nothing" against the committed end-to-end trajectory.
+    """
+    root = root or _repo_root()
+    recoverable = _fault_replay(root, "recoverable")
+    rerun = _fault_replay(root, "recoverable")
+    healthy = _fault_replay(root, "none")
+    return {
+        "workload": "§V-A working-set-15, 2k requests, paper testbed",
+        "recoverable": recoverable,
+        "replay_deterministic": recoverable["decision_sha"] == rerun["decision_sha"],
+        "none": healthy,
+    }
+
+
+# ----------------------------------------------------------------------
 # Pass-elision trajectory
 # ----------------------------------------------------------------------
 #: PR 4's committed end_to_end numbers (this container class): the elision
@@ -479,6 +569,7 @@ def run_bench(output: str | None = None, *, verbose: bool = True) -> dict:
         ),
         "write_amplification": measure_write_amplification(),
         "end_to_end": measure_end_to_end(root),
+        "fault_replay": measure_fault_replay(root),
         "pass_elision": measure_pass_elision(root),
         "sweep_scaling": measure_sweep_scaling(root),
         "benchmarks": dict(sorted(benchmarks.items())),
@@ -505,6 +596,14 @@ def run_bench(output: str | None = None, *, verbose: bool = True) -> dict:
                 f"{cell['requests_per_sec']:>9,.0f} req/s  "
                 f"rss {cell['peak_rss_mb']:6.1f} MB{extra}"
             )
+        fr = report["fault_replay"]
+        rec = fr["recoverable"]
+        print(
+            f"  fault replay (recoverable): {rec['completed']}/{rec['requests']} "
+            f"completed, {rec['lost']} lost, {rec['retries_total']} retries, "
+            f"{rec['faults_injected']} faults, mttr {rec['mean_mttr_s']:.2f} s, "
+            f"deterministic: {fr['replay_deterministic']}"
+        )
         for n, cell in report["pass_elision"]["sizes"].items():
             print(
                 f"  pass elision {int(n):>7,} req: "
@@ -566,6 +665,7 @@ _MIN_SWEEP_SPEEDUP_4W = 1.5       # grid speedup at 4 workers (needs >= 2 cores)
 _MAX_SWEEP_RESUME_S = 1.0         # cache-hit resume of a completed sweep
 _MIN_ELIDED_FRACTION = 0.30       # §V-A 2k replay: guard must engage
 _MAX_2K_RUN_VS_PR4 = 0.75         # 2k run_s must stay ≤ 0.75× PR 4's 0.1482 s
+_MAX_FAULT_RETRIES = 8            # per-request retry bound under recoverable faults
 
 
 def check_bench(path: str | None = None) -> list[str]:
@@ -638,6 +738,47 @@ def check_bench(path: str | None = None) -> list[str]:
             problems.append(
                 f"{size}-request replay throughput {rps} req/s regressed below "
                 f"the PR 4 committed {pr4['requests_per_sec']} req/s"
+            )
+    fault = report.get("fault_replay")
+    if not fault:
+        problems.append("fault_replay section missing")
+    else:
+        rec = fault.get("recoverable", {})
+        if rec.get("lost", 1) != 0:
+            problems.append(
+                f"recoverable-fault replay lost {rec.get('lost')} requests "
+                "(the default plan must lose none)"
+            )
+        if rec.get("completed") != rec.get("requests"):
+            problems.append(
+                f"recoverable-fault replay completed {rec.get('completed')} of "
+                f"{rec.get('requests')} requests"
+            )
+        if not rec.get("faults_injected"):
+            problems.append(
+                "recoverable-fault replay injected no faults "
+                "(the chaos plan never armed)"
+            )
+        if rec.get("max_retries_per_request", 0) > _MAX_FAULT_RETRIES:
+            problems.append(
+                f"recoverable-fault replay retried one request "
+                f"{rec.get('max_retries_per_request')} times "
+                f"(gate ≤ {_MAX_FAULT_RETRIES}: retries must stay bounded)"
+            )
+        if not fault.get("replay_deterministic"):
+            problems.append(
+                "fault replay is not deterministic: two runs of the same "
+                "plan+seed produced different decision logs"
+            )
+        none_rps = fault.get("none", {}).get("requests_per_sec")
+        floor = _PR4_E2E["2000"]["requests_per_sec"]
+        if none_rps is None:
+            problems.append("fault_replay.none.requests_per_sec missing")
+        elif none_rps < floor:
+            problems.append(
+                f"faults-disabled 2k replay throughput {none_rps} req/s "
+                f"regressed below the PR 4 committed {floor} req/s "
+                "(chaos hooks must cost nothing when disarmed)"
             )
     sweep = report.get("sweep_scaling")
     if not sweep:

@@ -85,7 +85,8 @@ __all__ = [
 
 #: schema version folded into every cell ID: bump when the execution
 #: semantics change in a way that invalidates stored results
-CELL_SCHEMA = 1
+#: (2: fault_profile joined ExperimentConfig / the chaos axis landed)
+CELL_SCHEMA = 2
 
 #: timeline sampling period (simulated seconds) persisted per cell
 DEFAULT_TIMELINE_PERIOD_S = 5.0
@@ -176,6 +177,9 @@ class SweepSpec:
     replacements: tuple[str, ...] = ("lru",)
     seeds: tuple[int, ...] = (0,)
     slas: tuple[float | None, ...] = (None,)
+    #: chaos axis: named fault profiles from
+    #: :data:`repro.chaos.FAULT_PROFILES` (``"none"`` = healthy runs)
+    fault_profiles: tuple[str, ...] = ("none",)
     #: workload scale (§V-A.1 defaults)
     minutes: int = 6
     requests_per_minute: int = 325
@@ -185,7 +189,8 @@ class SweepSpec:
 
     def __post_init__(self) -> None:
         for name in (
-            "policies", "working_sets", "o3_limits", "replacements", "seeds", "slas",
+            "policies", "working_sets", "o3_limits", "replacements", "seeds",
+            "slas", "fault_profiles",
         ):
             if not getattr(self, name):
                 raise ValueError(f"sweep axis {name!r} is empty")
@@ -197,34 +202,36 @@ class SweepSpec:
         out: list[SweepCell] = []
         seen: set[str] = set()
         for seed in self.seeds:
-            for sla in self.slas:
-                for replacement in self.replacements:
-                    for ws in self.working_sets:
-                        for o3 in self.o3_limits:
-                            for policy in self.policies:
-                                cfg = ExperimentConfig(
-                                    policy=policy,
-                                    working_set=ws,
-                                    minutes=self.minutes,
-                                    requests_per_minute=self.requests_per_minute,
-                                    o3_limit=o3,
-                                    replacement=replacement,
-                                    cluster=self.cluster,
-                                    sla_s=sla,
-                                    seed=seed,
-                                )
-                                if policy != "lalbo3" and len(self.o3_limits) > 1:
-                                    # the O3 axis only matters to lalbo3;
-                                    # collapse the duplicates it would mint
-                                    cfg = replace(cfg, o3_limit=self.o3_limits[0])
-                                cell = SweepCell(
-                                    config=cfg,
-                                    trace=self.trace,
-                                    timeline_period_s=self.timeline_period_s,
-                                )
-                                if cell.cell_id not in seen:
-                                    seen.add(cell.cell_id)
-                                    out.append(cell)
+            for fault_profile in self.fault_profiles:
+                for sla in self.slas:
+                    for replacement in self.replacements:
+                        for ws in self.working_sets:
+                            for o3 in self.o3_limits:
+                                for policy in self.policies:
+                                    cfg = ExperimentConfig(
+                                        policy=policy,
+                                        working_set=ws,
+                                        minutes=self.minutes,
+                                        requests_per_minute=self.requests_per_minute,
+                                        o3_limit=o3,
+                                        replacement=replacement,
+                                        cluster=self.cluster,
+                                        sla_s=sla,
+                                        seed=seed,
+                                        fault_profile=fault_profile,
+                                    )
+                                    if policy != "lalbo3" and len(self.o3_limits) > 1:
+                                        # the O3 axis only matters to lalbo3;
+                                        # collapse the duplicates it would mint
+                                        cfg = replace(cfg, o3_limit=self.o3_limits[0])
+                                    cell = SweepCell(
+                                        config=cfg,
+                                        trace=self.trace,
+                                        timeline_period_s=self.timeline_period_s,
+                                    )
+                                    if cell.cell_id not in seen:
+                                        seen.add(cell.cell_id)
+                                        out.append(cell)
         return tuple(out)
 
 
@@ -294,6 +301,7 @@ def execute_cell(
             o3_limit=config.o3_limit,
             replacement=config.replacement,
             seed=config.seed,
+            fault_profile=config.fault_profile,
         )
     )
     probe = (

@@ -7,7 +7,7 @@ from .gateway import FunctionNotFound, Gateway, RegisteredFunction
 from .interceptor import GPUModelHandle, InterceptedMLAPI
 from .namespaces import Namespace, NamespaceError, NamespaceManager, NamespaceView
 from .spec import Dockerfile, FunctionSpec, default_template
-from .watchdog import Invocation, InvocationStatus, Watchdog
+from .watchdog import HealthWatchdog, Invocation, InvocationStatus, Watchdog
 
 __all__ = [
     "Autoscaler",
@@ -29,4 +29,5 @@ __all__ = [
     "Invocation",
     "InvocationStatus",
     "Watchdog",
+    "HealthWatchdog",
 ]

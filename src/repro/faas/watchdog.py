@@ -9,6 +9,22 @@ For GPU-enabled inference functions the execution step is: run the
 function's ``preprocess`` on the container, call the intercepted model
 handle (which routes through Scheduler → GPU Manager), then ``postprocess``
 and respond.  Plain functions run their handler for a simulated CPU time.
+
+GPU-backend liveness
+--------------------
+The per-container Watchdog above supervises *functions*; the GPU
+*backends* are supervised by the lease-backed :class:`HealthWatchdog`
+(re-exported here from :mod:`repro.chaos.health`, where it lives to stay
+clear of the faas ↔ runtime import cycle).  Historically a GPU Manager's
+expired lease only deleted its Datastore keys — the Scheduler kept
+dispatching to the dead backend.  The health watchdog closes that gap:
+each GPU's ``gpu/health/<gpu_id>`` key rides a TTL lease refreshed by a
+heartbeat loop, and a lease *expiry* (missed heartbeats) now escalates
+through ``FaaSCluster.fail_gpu`` — the GPU is marked unschedulable, its
+in-flight and locally-queued work is re-queued, and its cache locations
+are withdrawn — then self-heals via ``recover_gpu`` when heartbeats
+resume.  ``FaaSCluster`` builds it automatically whenever a fault plan is
+active (``SystemConfig(fault_profile=...)``).
 """
 
 from __future__ import annotations
@@ -19,13 +35,14 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from ..chaos.health import HealthWatchdog
 from ..datastore.client import DatastoreClient
 from ..sim import Simulator
 from .container import Container
 from .interceptor import GPUModelHandle
 from .spec import FunctionSpec
 
-__all__ = ["Invocation", "InvocationStatus", "Watchdog"]
+__all__ = ["Invocation", "InvocationStatus", "Watchdog", "HealthWatchdog"]
 
 _invocation_ids = itertools.count(1)
 

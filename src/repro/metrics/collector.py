@@ -101,6 +101,15 @@ class MetricsCollector:
         self.miss_count = 0
         self.false_miss_count = 0
         self._invocations: dict[str, int] = {}  # model_id -> completions
+        # availability accounting (chaos/robustness): lost requests,
+        # failure-retry totals, and open-fault → repair-time tracking
+        self.lost: list[InferenceRequest] = []
+        self.lost_reasons: dict[str, int] = {}
+        self.retries_total = 0
+        self.faults_injected = 0
+        self._open_faults: dict[tuple[str, str], float] = {}
+        #: (fault kind, target, repair seconds) per healed fault
+        self.repairs: list[tuple[str, str, float]] = []
         # columnar completion buffers: plain Python lists on the append
         # path (a NumPy scalar store costs several times a list append,
         # and this runs once per completion), materialized into typed
@@ -122,6 +131,8 @@ class MetricsCollector:
         if request.completed_at is None:
             raise ValueError(f"request {request.request_id} has not completed")
         self.completed.append(request)
+        if request.retries:
+            self.retries_total += request.retries
         model_id = request.model_id
         self._invocations[model_id] = self._invocations.get(model_id, 0) + 1
         hit = request.cache_hit
@@ -154,6 +165,42 @@ class MetricsCollector:
             if self._dup_count[model_id] < 0:
                 raise RuntimeError(f"negative residency for {model_id}")
         # "use" events do not change residency
+
+    def on_lost(self, request: InferenceRequest, reason: str) -> None:
+        """A request left the system without completing (deadline timeout
+        or exhausted retry budget)."""
+        self.lost.append(request)
+        self.lost_reasons[reason] = self.lost_reasons.get(reason, 0) + 1
+        if request.retries:
+            self.retries_total += request.retries
+
+    def on_fault(self, kind: str, target: str = "") -> None:
+        """A fault took effect (chaos injector / health watchdog)."""
+        self.faults_injected += 1
+        self._open_faults[(kind, target)] = self.sim.now
+
+    def on_fault_cleared(self, kind: str, target: str = "") -> None:
+        """A fault healed; closes the matching open fault for MTTR."""
+        start = self._open_faults.pop((kind, target), None)
+        if start is not None:
+            self.repairs.append((kind, target, self.sim.now - start))
+
+    @property
+    def lost_count(self) -> int:
+        return len(self.lost)
+
+    def mean_mttr(self) -> float:
+        """Mean time-to-repair over every healed fault (0.0 if none)."""
+        if not self.repairs:
+            return 0.0
+        return sum(t for _, _, t in self.repairs) / len(self.repairs)
+
+    def mttr_by_kind(self) -> dict[str, float]:
+        """Per-fault-kind mean time-to-repair (healed faults only)."""
+        sums: dict[str, list[float]] = {}
+        for kind, _, t in self.repairs:
+            sums.setdefault(kind, []).append(t)
+        return {kind: sum(ts) / len(ts) for kind, ts in sorted(sums.items())}
 
     def _advance(self, model_id: str, now: float) -> None:
         since = self._dup_since.get(model_id, self.started_at)

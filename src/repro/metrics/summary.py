@@ -46,6 +46,19 @@ class RunSummary:
     #: fraction of SLA-carrying requests that missed their deadline
     #: (0.0 when the workload carries no SLAs)
     sla_violation_ratio: float = 0.0
+    # -- availability under faults (chaos replays; all zero when healthy) --
+    #: requests dropped (deadline timeout / retry budget exhausted)
+    lost_requests: int = 0
+    #: failure-retry resubmissions absorbed across all requests
+    total_retries: int = 0
+    #: completions *within SLA* per second (no-SLA requests count as good);
+    #: under faults this is the availability headline — throughput that
+    #: actually served users, not just survived
+    goodput_rps: float = 0.0
+    #: faults that took effect during the run
+    faults_injected: int = 0
+    #: mean time-to-repair over healed faults (crash→recover, escalation→heal)
+    mean_mttr_s: float = 0.0
 
     def row(self) -> dict[str, float | str | int | None]:
         """Flat dict for report tables."""
@@ -148,18 +161,16 @@ def summarize(
         false_misses = int(collector.false_miss_count)
         with_sla = ~np.isnan(cols.sla_s)
         n_sla = int(with_sla.sum())
-        sla_violations = (
-            float(np.sum(lat[with_sla] > cols.sla_s[with_sla])) / n_sla if n_sla else 0.0
-        )
+        n_violations = int(np.sum(lat[with_sla] > cols.sla_s[with_sla]))
+        sla_violations = n_violations / n_sla if n_sla else 0.0
     else:  # out-of-band completed list: fall back to the object walk
         lat = _latencies(reqs)
         queueing_mean = float(np.mean([r.queueing_delay for r in reqs]))
         misses = sum(1 for r in reqs if r.cache_hit is False)
         false_misses = sum(1 for r in reqs if r.false_miss)
         sla_reqs = [r for r in reqs if r.sla_s is not None]
-        sla_violations = (
-            sum(1 for r in sla_reqs if not r.met_sla) / len(sla_reqs) if sla_reqs else 0.0
-        )
+        n_violations = sum(1 for r in sla_reqs if not r.met_sla)
+        sla_violations = n_violations / len(sla_reqs) if sla_reqs else 0.0
     top = top_model if top_model is not None else collector.most_invoked_model()
     sm = float(np.mean([g.sm_utilization(horizon=duration) for g in cluster.gpus]))
     return RunSummary(
@@ -180,4 +191,13 @@ def summarize(
         avg_queueing_s=queueing_mean,
         horizon_s=duration,
         sla_violation_ratio=sla_violations,
+        lost_requests=len(getattr(collector, "lost", ())),
+        total_retries=int(getattr(collector, "retries_total", 0)),
+        # goodput: completions that met their SLA (best-effort requests
+        # count as good) per second of run
+        goodput_rps=(len(reqs) - n_violations) / duration,
+        faults_injected=int(getattr(collector, "faults_injected", 0)),
+        mean_mttr_s=float(collector.mean_mttr())
+        if hasattr(collector, "mean_mttr")
+        else 0.0,
     )

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..chaos.plan import FAULT_PROFILES, FaultPlan
 from ..cluster.topology import PAPER_TESTBED, ClusterSpec
 from ..core.policies import DEFAULT_O3_LIMIT
 from ..core.tenancy import TenantQuota
@@ -50,6 +51,28 @@ class SystemConfig:
     quotas: dict[str, TenantQuota] = field(default_factory=dict)
     #: master seed for all stochastic elements
     seed: int = 0
+    #: named chaos profile ("none", "recoverable", "severe"): materialized
+    #: into a seeded FaultPlan (using ``seed``) and compiled into simulator
+    #: events at construction.  "none" builds nothing — zero events, zero
+    #: overhead, byte-identical to the pre-chaos runtime.
+    fault_profile: str = "none"
+    #: explicit fault schedule; overrides ``fault_profile`` when set
+    fault_plan: FaultPlan | None = None
+    #: per-request deadline: a request still in the *global* queue this many
+    #: seconds after arrival times out and is dropped (None = never)
+    deadline_s: float | None = None
+    #: retry budget for failure resubmission: a request aborted/stranded
+    #: more than this many times is dropped as lost (None = unlimited,
+    #: the historical behaviour)
+    max_retries: int | None = None
+    #: base backoff before a failure resubmission re-enters the global
+    #: queue; doubles per retry already absorbed (0.0 = immediate
+    #: resubmit, the historical behaviour)
+    retry_backoff_s: float = 0.0
+    #: health-watchdog heartbeat cadence and lease TTL (the watchdog is
+    #: built whenever a fault plan is active; TTL must exceed the cadence)
+    health_heartbeat_s: float = 1.0
+    health_ttl_s: float = 3.0
 
     def __post_init__(self) -> None:
         if self.policy not in ("lb", "locality", "lalb", "lalbo3"):
@@ -60,3 +83,25 @@ class SystemConfig:
             raise ValueError("watch_delay_s cannot be negative")
         if self.kv_autocompact_keep is not None and self.kv_autocompact_keep < 1:
             raise ValueError("kv_autocompact_keep must be >= 1 when set")
+        if self.fault_profile not in FAULT_PROFILES:
+            known = ", ".join(sorted(FAULT_PROFILES))
+            raise ValueError(
+                f"unknown fault profile {self.fault_profile!r} (known: {known})"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive when set")
+        if self.max_retries is not None and self.max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
+        if self.retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s cannot be negative")
+        if self.health_heartbeat_s <= 0:
+            raise ValueError("health_heartbeat_s must be positive")
+        if self.health_ttl_s <= self.health_heartbeat_s:
+            raise ValueError("health_ttl_s must exceed health_heartbeat_s")
+
+    @property
+    def faults_active(self) -> bool:
+        """Whether this config carries a non-empty fault schedule."""
+        if self.fault_plan is not None:
+            return len(self.fault_plan) > 0
+        return self.fault_profile != "none"

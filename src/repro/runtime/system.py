@@ -10,6 +10,7 @@ directly.
 
 from __future__ import annotations
 
+from ..chaos import ChaosInjector, HealthWatchdog, build_fault_plan
 from ..cluster.topology import Cluster, GPUTypeSpec, build_cluster
 from ..core.cache_manager import CacheManager
 from ..core.estimator import FinishTimeEstimator
@@ -89,6 +90,7 @@ class FaaSCluster:
                 on_dispatch=(
                     self._on_request_dispatch if self.tenancy is not None else None
                 ),
+                on_drained=self._on_gpu_drained,
             )
 
         policy = make_scheduling_policy(self.config.policy, o3_limit=self.config.o3_limit)
@@ -102,12 +104,47 @@ class FaaSCluster:
             datastore=self.datastore.client(),
             tenancy=self.tenancy,
             pass_elision=self.config.pass_elision,
+            deadline_s=self.config.deadline_s,
         )
+        self.scheduler.on_lost = self.metrics.on_lost
         # rebind the managers' idle callback straight onto the scheduler:
         # the _on_gpu_idle wrapper only forwarded, and the hop runs once
         # per completion
         for manager in self._managers.values():
             manager.on_idle = self.scheduler.on_gpu_idle
+
+        # ---- chaos: materialize and arm the fault schedule ------------
+        # Armed during construction, before any workload is submitted, so
+        # the fault events hold a fixed, plan-determined position in the
+        # simulator's tie-break order — the root of replay determinism.
+        # With no faults (the default) nothing is built: no watchdog, no
+        # heartbeat events, byte-identical to the pre-chaos runtime.
+        plan = self.config.fault_plan
+        if plan is None and self.config.fault_profile != "none":
+            plan = build_fault_plan(
+                self.config.fault_profile,
+                seed=self.config.seed,
+                gpus=len(self.cluster.gpus),
+            )
+        self.fault_plan = plan if plan is not None and len(plan) else None
+        self.health: HealthWatchdog | None = None
+        self.chaos: ChaosInjector | None = None
+        if self.fault_plan is not None:
+            self.health = HealthWatchdog(
+                self,
+                heartbeat_s=self.config.health_heartbeat_s,
+                ttl_s=self.config.health_ttl_s,
+                # heartbeats retire once every fault has played out (plus
+                # one TTL of slack for a trailing expiry to self-heal), so
+                # the replay still drains to a fixed event horizon
+                horizon_s=self.fault_plan.end_s
+                + self.config.health_ttl_s
+                + 2 * self.config.health_heartbeat_s,
+            )
+            self.health.start()
+            self.chaos = ChaosInjector(self, self.fault_plan)
+            self.chaos.arm()
+
         # commit construction-time writes (initial GPU statuses) so watchers
         # registered after build observe only post-build changes, exactly as
         # they would against the unbatched write path
@@ -209,12 +246,59 @@ class FaaSCluster:
                 self.tenancy.on_load_aborted(inflight.model_id)
             stranded.insert(0, inflight)
         for request in stranded:
-            self.scheduler.resubmit(request)
+            self._requeue(request)
         # commit the failure's writes (offline status, withdrawn LRU lists /
         # locations, resubmits) as one action when called outside the sim;
         # scheduled failures commit at the post-event boundary instead
         if not self.sim.is_running:
             self.datastore.flush()
+
+    def drain_gpu(self, gpu_id: str) -> None:
+        """Gracefully retire a GPU: running work finishes, queued work
+        reschedules, cache locations are invalidated atomically.
+
+        The drain protocol, in order: (1) the GPU's local queue is emptied
+        and every request re-queued through the retry budget; (2) the
+        manager marks the GPU draining — an in-flight request finishes
+        normally before the GPU retires, an idle GPU retires immediately;
+        (3) at retirement every cached model is withdrawn in the same
+        write batch as the ``"offline"`` status flip; (4) anything bound
+        to the local queue during the drain window is re-queued via the
+        manager's ``on_drained`` callback.  Unlike :meth:`fail_gpu`, no
+        work is ever aborted.
+        """
+        gpu = self.cluster.gpu(gpu_id)
+        stranded = self.scheduler.drain_local(gpu_id)
+        self._managers[gpu.node_id].drain(gpu)
+        for request in stranded:
+            self._requeue(request)
+        if not self.sim.is_running:
+            self.datastore.flush()
+
+    def _on_gpu_drained(self, gpu) -> None:
+        """Drain completed mid-run: re-queue anything the policies bound to
+        the (then busy, now offline) GPU's local queue during the window."""
+        for request in self.scheduler.drain_local(gpu.gpu_id):
+            self._requeue(request)
+
+    def _requeue(self, request: InferenceRequest) -> None:
+        """Route displaced work back to the global queue, applying the
+        configured retry budget and backoff.
+
+        Defaults (``max_retries=None``, ``retry_backoff_s=0``) reproduce
+        the historical behaviour exactly: unlimited, immediate resubmits.
+        """
+        cfg = self.config
+        if cfg.max_retries is not None and request.retries >= cfg.max_retries:
+            self.scheduler.give_up(request, "retries_exhausted")
+            return
+        if cfg.retry_backoff_s > 0.0:
+            # exponential: each absorbed retry doubles the pause before
+            # the request competes for GPUs again
+            delay = cfg.retry_backoff_s * (2.0 ** request.retries)
+            self.sim.schedule(delay, self.scheduler.resubmit, request)
+            return
+        self.scheduler.resubmit(request)
 
     def recover_gpu(self, gpu_id: str) -> None:
         """Bring a failed GPU back online (empty) and resume scheduling."""

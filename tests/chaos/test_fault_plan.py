@@ -1,0 +1,101 @@
+"""FaultPlan construction: seeded determinism and validation.
+
+A plan is pure data; every guarantee downstream (byte-identical chaos
+replays, the bench gates, the sweep's fault axis) rests on
+``build_fault_plan`` being a pure function of (profile, seed, horizon,
+gpus).
+"""
+
+import pytest
+
+from repro.chaos import FAULT_PROFILES, FaultPlan, build_fault_plan
+from repro.chaos.plan import (
+    DEFAULT_HORIZON_S,
+    GPUCrash,
+    KVLatencySpike,
+    LeaseExpiry,
+    Straggler,
+    WatchDrop,
+)
+
+
+class TestSeededProfiles:
+    @pytest.mark.parametrize("profile", sorted(FAULT_PROFILES))
+    def test_same_arguments_same_plan(self, profile):
+        a = build_fault_plan(profile, seed=7, horizon_s=100.0, gpus=8)
+        b = build_fault_plan(profile, seed=7, horizon_s=100.0, gpus=8)
+        assert a == b  # frozen dataclasses: field-for-field equality
+
+    def test_different_seeds_differ(self):
+        a = build_fault_plan("recoverable", seed=0)
+        b = build_fault_plan("recoverable", seed=1)
+        assert a != b
+
+    def test_none_profile_is_empty(self):
+        plan = build_fault_plan("none", seed=3)
+        assert len(plan) == 0
+        assert plan.end_s == 0.0
+
+    def test_recoverable_profile_always_heals(self):
+        for seed in range(5):
+            plan = build_fault_plan("recoverable", seed=seed)
+            assert len(plan) == 6
+            for fault in plan:
+                if isinstance(fault, GPUCrash):
+                    assert fault.recover_after_s is not None
+            # every fault lands strictly inside the horizon
+            assert all(0 < f.at_s < DEFAULT_HORIZON_S for f in plan)
+
+    def test_severe_profile_has_a_permanent_crash(self):
+        plan = build_fault_plan("severe", seed=0)
+        permanent = [
+            f for f in plan
+            if isinstance(f, GPUCrash) and f.recover_after_s is None
+        ]
+        assert len(permanent) == 1
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(ValueError, match="unknown fault profile"):
+            build_fault_plan("blast-radius")
+
+    def test_bad_arguments_raise(self):
+        with pytest.raises(ValueError):
+            build_fault_plan("recoverable", horizon_s=0.0)
+        with pytest.raises(ValueError):
+            build_fault_plan("recoverable", gpus=0)
+
+
+class TestValidation:
+    def test_negative_injection_time_rejected(self):
+        plan = FaultPlan("bad", faults=(WatchDrop(at_s=-1.0, duration_s=2.0),))
+        with pytest.raises(ValueError, match="at_s"):
+            plan.validate()
+
+    def test_sub_unity_straggler_rejected(self):
+        plan = FaultPlan(
+            "bad", faults=(Straggler(at_s=1.0, gpu_index=0, factor=0.5, duration_s=2.0),)
+        )
+        with pytest.raises(ValueError, match="factor"):
+            plan.validate()
+
+    def test_nonpositive_duration_rejected(self):
+        plan = FaultPlan(
+            "bad", faults=(LeaseExpiry(at_s=1.0, gpu_index=0, duration_s=0.0),)
+        )
+        with pytest.raises(ValueError, match="duration_s"):
+            plan.validate()
+
+    def test_end_s_covers_recovery_and_windows(self):
+        plan = FaultPlan(
+            "spans",
+            faults=(
+                GPUCrash(at_s=10.0, gpu_index=0, recover_after_s=25.0),
+                KVLatencySpike(at_s=20.0, duration_s=5.0, extra_delay_s=0.5),
+            ),
+        )
+        assert plan.end_s == 35.0
+        # a permanent crash contributes only its injection time
+        permanent = FaultPlan(
+            "perm", faults=(GPUCrash(at_s=12.0, gpu_index=0),)
+        )
+        assert permanent.end_s == 12.0

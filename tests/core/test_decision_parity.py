@@ -13,7 +13,9 @@ Request IDs come from a process-global counter, so logs are compared after
 mapping each run's IDs onto the submission index.
 """
 
+import json
 import random
+import re
 
 import pytest
 
@@ -255,6 +257,89 @@ def test_quota_scenarios_identical_with_elision_on_and_off():
         # queued until the tenant's usage drops); both engines must
         # strand exactly the same ones
         assert on_done == off_done
+
+
+# ----------------------------------------------------------------------
+# Chaos parity: seeded fault schedules (repro.chaos, docs/robustness.md)
+# ----------------------------------------------------------------------
+def _chaos_plan():
+    """Hand-built crash/recover + straggler schedule, dense enough to land
+    mid-burst on the seeded workload (which spans ~30 simulated seconds)."""
+    from repro.chaos import FaultPlan
+    from repro.chaos.plan import GPUCrash, Straggler
+
+    return FaultPlan(
+        name="parity-crash-straggle",
+        faults=(
+            GPUCrash(at_s=4.0, gpu_index=2, recover_after_s=6.0),
+            Straggler(at_s=9.0, gpu_index=5, factor=3.0, duration_s=8.0),
+            GPUCrash(at_s=15.0, gpu_index=0, recover_after_s=5.0),
+        ),
+        seed=SEED,
+    )
+
+
+def _run_chaos(policy: str, fast: bool, elide: bool, spec):
+    """Run the workload under the chaos schedule; return the decision log
+    (keyed by submission index) and the normalized final KV state."""
+    from repro.core.request import InferenceRequest
+
+    system = FaaSCluster(
+        SystemConfig(
+            cluster=ClusterSpec.homogeneous(2, 4),
+            policy=policy,
+            pass_elision=elide,
+            fault_plan=_chaos_plan(),
+        )
+    )
+    system.scheduler.policy.use_fast_path = fast
+    instances = [
+        ModelInstance(f"m{i}", get_profile(_architecture(i))) for i in range(N_FUNCTIONS)
+    ]
+    id_to_index = {}
+    for index, (fn, t) in enumerate(spec):
+        request = InferenceRequest(f"fn{fn}", instances[fn], arrival_time=t)
+        id_to_index[request.request_id] = index
+        system.submit_at(request)
+    system.run()
+    assert len(system.completed) == len(spec)  # recoverable plan loses nothing
+    log = [
+        (d.time_s, d.kind, id_to_index[d.request_id], d.model_id, d.gpu_id, d.visits)
+        for d in system.scheduler.decisions
+    ]
+    # request IDs are process-global, so per-request keys are re-keyed by
+    # submission index before byte comparison
+    state = {}
+    for key, value in system.datastore.client().range("").items():
+        m = re.fullmatch(r"fn/latency/(\d+)", key)
+        if m:
+            key = f"fn/latency/idx{id_to_index[int(m.group(1))]}"
+        state[key] = value
+    return log, json.dumps(state, sort_keys=True, default=repr)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_chaos_schedule_parity_across_engines(policy):
+    """Under a seeded crash/recover + straggler schedule, every engine
+    configuration — fast path × pass elision — must produce byte-identical
+    decision logs *and* final datastore state.  Fault handling may not
+    depend on which scan or guard implementation ran."""
+    spec = _workload(SEED + 9, n_requests=800)
+    ref_log, ref_kv = _run_chaos(policy, fast=False, elide=False, spec=spec)
+    assert any(kind.value == "resubmit" for _, kind, *_ in ref_log)
+    for fast, elide in ((True, True), (True, False), (False, True)):
+        log, kv = _run_chaos(policy, fast=fast, elide=elide, spec=spec)
+        assert log == ref_log, f"decision drift with fast={fast}, elide={elide}"
+        assert kv == ref_kv, f"KV drift with fast={fast}, elide={elide}"
+
+
+def test_chaos_replay_is_deterministic():
+    """Two runs of the same plan + seed + workload are byte-identical:
+    the replay property every chaos debugging session depends on."""
+    spec = _workload(SEED + 10, n_requests=600)
+    first = _run_chaos("lalbo3", fast=True, elide=True, spec=spec)
+    second = _run_chaos("lalbo3", fast=True, elide=True, spec=spec)
+    assert first == second
 
 
 def test_o3_visits_identical_under_both_scans():

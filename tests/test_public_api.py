@@ -29,6 +29,7 @@ def test_paper_testbed_constant():
 
 
 def test_subpackages_importable():
+    import repro.chaos
     import repro.cluster
     import repro.core
     import repro.datastore
