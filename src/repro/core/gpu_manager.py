@@ -24,6 +24,7 @@ simulator's post-event hook), one revision, one coalesced watch batch.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Callable, NamedTuple
 
 from ..cluster.gpu import GPUDevice, GPUState
@@ -69,6 +70,7 @@ class GPUManager:
         estimator: FinishTimeEstimator,
         *,
         datastore: DatastoreClient | None = None,
+        latency_keep: int | None = None,
         on_idle: Callable[[GPUDevice], None] | None = None,
         on_complete: Callable[[InferenceRequest], None] | None = None,
         on_dispatch: Callable[[InferenceRequest], None] | None = None,
@@ -91,6 +93,14 @@ class GPUManager:
         #: straggler injection: gpu_id -> multiplicative slowdown on the
         #: *actual* load/inference durations (absent = healthy)
         self._slowdown: dict[str, float] = {}
+        # sliding window over this manager's fn/latency/* keys: when
+        # latency_keep is set, writing record N deletes record N-keep in
+        # the same batched transaction, so the store's live set (and the
+        # KeyValue/LatencyRecord objects it pins) stays bounded on
+        # million-request replays.  Nothing reads these keys mid-run, so
+        # scheduling is untouched either way.
+        self._latency_keep = latency_keep
+        self._latency_log: deque[str] = deque()
         # per-GPU key strings, built once: status/finish-time puts happen on
         # every dispatch and completion
         self._status_key = {g.gpu_id: f"gpu/status/{g.gpu_id}" for g in node.gpus}
@@ -316,8 +326,9 @@ class GPUManager:
         arrival = request.arrival_time
         # positional LatencyRecord + inlined latency/queueing properties:
         # _finished just stamped both timestamps, so the validation is dead
+        key = f"fn/latency/{request.request_id}"
         self.datastore.put(
-            f"fn/latency/{request.request_id}",
+            key,
             LatencyRecord(
                 request.function_name,
                 request.model_id,
@@ -328,3 +339,8 @@ class GPUManager:
                 request.false_miss,
             ),
         )
+        if self._latency_keep is not None:
+            log = self._latency_log
+            log.append(key)
+            if len(log) > self._latency_keep:
+                self.datastore.delete(log.popleft())

@@ -22,12 +22,19 @@ import numpy as np
 from ..faas.gateway import Gateway
 from ..faas.spec import FunctionSpec
 from ..faas.watchdog import Invocation
-from ..runtime.config import SystemConfig
+from ..metrics.summary import RunSummary, summarize
+from ..runtime.config import SystemConfig, streaming_config
 from ..runtime.system import FaaSCluster
 from ..traces.azure import SyntheticAzureTrace
-from ..traces.workload import Workload, WorkloadSpec, assign_architectures, build_workload
+from ..traces.workload import (
+    Workload,
+    WorkloadSpec,
+    assign_architectures,
+    build_workload,
+    build_workload_streaming,
+)
 
-__all__ = ["GatewayReplay", "replay_through_gateway"]
+__all__ = ["GatewayReplay", "replay_through_gateway", "replay_streaming"]
 
 
 @dataclass
@@ -116,3 +123,41 @@ def replay_through_gateway(
     )
     system.run()
     return replay
+
+
+def replay_streaming(
+    spec: WorkloadSpec | None = None,
+    *,
+    config: SystemConfig | None = None,
+    trace: SyntheticAzureTrace | None = None,
+    minutes_per_chunk: int = 8,
+    low_water: int = 64,
+) -> tuple[RunSummary, FaaSCluster]:
+    """Scheduler-level §V-A replay at flat RSS: the streaming pipeline.
+
+    Chunked workload columns (:func:`build_workload_streaming`) feed the
+    simulator through :meth:`FaaSCluster.submit_workload_streaming`, the
+    metrics collector folds completions into fixed-size histograms, and
+    MVCC autocompaction bounds the Datastore's history — so peak memory is
+    set by the chunk size and cluster state, not the request count.  The
+    default ``config`` is :func:`~repro.runtime.config.streaming_config`.
+
+    Returns the run summary plus the drained system for drill-down.
+    """
+    spec = spec or WorkloadSpec()
+    trace = trace or SyntheticAzureTrace()
+    workload = build_workload_streaming(spec, trace=trace)
+    system = FaaSCluster(config if config is not None else streaming_config())
+    system.submit_workload_streaming(
+        workload, minutes_per_chunk=minutes_per_chunk, low_water=low_water
+    )
+    system.run()
+    summary = summarize(
+        system.metrics,
+        system.cluster,
+        policy=system.config.policy,
+        working_set=spec.working_set,
+        top_model=workload.top_model_id,
+    )
+    system.metrics.close_spill()
+    return summary, system

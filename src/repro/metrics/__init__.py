@@ -1,12 +1,18 @@
 """Metrics: per-run collection and the paper's evaluation summaries."""
 
-from .collector import MetricsCollector
-from .summary import RunSummary, summarize
+from .collector import ExactWindow, MetricsCollector
+from .histogram import DEFAULT_GROWTH, LogHistogram, quantile_error_bound
+from .summary import RunSummary, per_architecture_breakdown, summarize
 from .timeline import TIMELINE_FIELDS, TimelineProbe, TimelineSample, TimelineSampler
 
 __all__ = [
+    "DEFAULT_GROWTH",
+    "ExactWindow",
+    "LogHistogram",
     "MetricsCollector",
     "RunSummary",
+    "per_architecture_breakdown",
+    "quantile_error_bound",
     "summarize",
     "TIMELINE_FIELDS",
     "TimelineProbe",

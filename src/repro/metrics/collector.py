@@ -19,6 +19,28 @@ instead of per-request Python loops, and the per-model / miss counters are
 maintained *running* on :meth:`MetricsCollector.on_complete`, so queries
 like :meth:`most_invoked_model` cost O(models) — never a rescan of the
 completed list.
+
+Streaming mode
+--------------
+Columnar storage is linear in replay size, which turns a 10M-request
+replay into an OOM.  ``MetricsCollector(sim, streaming=True)`` keeps
+memory **flat**: completed request objects are not retained, and each
+completion folds into
+
+* fixed-size :class:`~repro.metrics.histogram.LogHistogram` stores
+  (latency overall and per architecture),
+* exact running counters (misses, false misses, SLA totals/violations,
+  per-model invocations, compensated queueing-delay sum), and
+* an *exact window* — compact per-request scalar buffers retained up to
+  ``exact_cap`` completions (default 20k, a few hundred KB).  While the
+  run fits the window, :func:`~repro.metrics.summary.summarize` reduces
+  the very same float64 values with the very same NumPy calls as the
+  columnar path, so the summary is **byte-identical**; past the cap the
+  window is dropped and quantiles come from the histograms within the
+  documented ~1 % relative bound (counts, rates and ratios stay exact).
+
+``spill_to`` optionally tees every completion row to a CSV on disk for
+drill-down, since streaming mode keeps none of them in memory.
 """
 
 from __future__ import annotations
@@ -30,8 +52,9 @@ import numpy as np
 
 from ..core.request import InferenceRequest
 from ..sim import Simulator
+from .histogram import LogHistogram
 
-__all__ = ["MetricsCollector", "CompletionColumns"]
+__all__ = ["MetricsCollector", "CompletionColumns", "ExactWindow"]
 
 
 @dataclass(frozen=True)
@@ -66,6 +89,68 @@ class CompletionColumns:
         return self.dispatched - self.arrival
 
 
+@dataclass(frozen=True)
+class ExactWindow:
+    """Typed views of the streaming collector's exact-window buffers.
+
+    Same float64 values, in the same order, as the columnar path's
+    derived columns — reducing them with the same NumPy calls reproduces
+    the columnar summary bit for bit.
+    """
+
+    latency: np.ndarray       # float64, completed - arrival
+    queueing: np.ndarray      # float64, dispatched - arrival (NaN if never)
+    architecture: np.ndarray  # int32 codes
+    cache_hit: np.ndarray     # int8: 1 hit / 0 miss / -1 unknown
+
+    def __len__(self) -> int:
+        return int(self.latency.shape[0])
+
+
+class _ArchStream:
+    """Fixed-size per-architecture fold target (streaming breakdown)."""
+
+    __slots__ = ("hist", "misses")
+
+    def __init__(self) -> None:
+        self.hist = LogHistogram()
+        self.misses = 0
+
+
+class _RowSpill:
+    """Lazily-opened CSV tee of completion rows (streaming drill-down)."""
+
+    __slots__ = ("path", "_fh")
+
+    _HEADER = "arrival,dispatched,completed,model,gpu,architecture,cache_hit,false_miss,sla_s\n"
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh = None
+
+    def write(self, request: InferenceRequest) -> None:
+        fh = self._fh
+        if fh is None:
+            fh = self._fh = open(self.path, "w", buffering=1 << 16)
+            fh.write(self._HEADER)
+        hit = request.cache_hit
+        fh.write(
+            f"{request.arrival_time!r},"
+            f"{'' if request.dispatched_at is None else repr(request.dispatched_at)},"
+            f"{request.completed_at!r},"
+            f"{request.model_id},{request.gpu_id or '?'},"
+            f"{request.model.architecture},"
+            f"{-1 if hit is None else int(hit)},"
+            f"{int(request.false_miss)},"
+            f"{'' if request.sla_s is None else repr(request.sla_s)}\n"
+        )
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
 class _Interner:
     """String → dense int32 code, with the reverse table public."""
 
@@ -87,7 +172,14 @@ class _Interner:
 class MetricsCollector:
     """Accumulates per-request and cache-residency statistics."""
 
-    def __init__(self, sim: Simulator) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        streaming: bool = False,
+        exact_cap: int = 20_000,
+        spill_to: str | None = None,
+    ) -> None:
         self.sim = sim
         self.completed: list[InferenceRequest] = []
         self.started_at = sim.now
@@ -123,11 +215,33 @@ class MetricsCollector:
         #: typed arrays lazily by columns()
         self._rows: list[tuple] = []
         self._columns_cache: CompletionColumns | None = None
+        # --- streaming (flat-memory) mode state --------------------------
+        self.streaming = streaming
+        self.exact_cap = int(exact_cap)
+        self._spill = _RowSpill(spill_to) if spill_to else None
+        self._lost_streamed = 0
+        if streaming:
+            self.lat_hist = LogHistogram()
+            self._arch_stats: dict[int, _ArchStream] = {}
+            # exact-window append buffers; dropped (set to None) past cap
+            self._w_lat: list[float] | None = []
+            self._w_queue: list[float] | None = []
+            self._w_arch: list[int] | None = []
+            self._w_hit: list[int] | None = []
+            self._window_cache: ExactWindow | None = None
+            # exact running aggregates (valid in both regimes)
+            self.sla_total = 0
+            self.sla_violations = 0
+            self._queue_sum = 0.0
+            self._queue_sum_c = 0.0
 
     # ------------------------------------------------------------------
     # Observers
     # ------------------------------------------------------------------
     def on_complete(self, request: InferenceRequest) -> None:
+        if self.streaming:
+            self._on_complete_streaming(request)
+            return
         if request.completed_at is None:
             raise ValueError(f"request {request.request_id} has not completed")
         self.completed.append(request)
@@ -153,6 +267,99 @@ class MetricsCollector:
         ))
         self._n += 1
 
+    def _on_complete_streaming(self, request: InferenceRequest) -> None:
+        """Fold one completion into fixed-size state; retain nothing.
+
+        The scalar derivations (``completed - arrival`` etc.) are the same
+        IEEE float64 operations the columnar path performs elementwise, so
+        the exact window holds bit-identical values.
+        """
+        completed = request.completed_at
+        if completed is None:
+            raise ValueError(f"request {request.request_id} has not completed")
+        if request.retries:
+            self.retries_total += request.retries
+        model_id = request.model_id
+        self._invocations[model_id] = self._invocations.get(model_id, 0) + 1
+        hit = request.cache_hit
+        if hit is False:
+            self.miss_count += 1
+        if request.false_miss:
+            self.false_miss_count += 1
+        arrival = request.arrival_time
+        lat = completed - arrival
+        dispatched = request.dispatched_at
+        queue = (dispatched - arrival) if dispatched is not None else float("nan")
+        arch = self._archs.code(request.model.architecture)
+        sla = request.sla_s
+        self._n += 1
+        # exact running aggregates
+        if sla is not None:
+            self.sla_total += 1
+            if lat > sla:
+                self.sla_violations += 1
+        s = self._queue_sum
+        t = s + queue
+        self._queue_sum_c += (s - t) + queue if abs(s) >= abs(queue) else (queue - t) + s
+        self._queue_sum = t
+        # histogram folds (both regimes; take over past the window)
+        self.lat_hist.record(lat)
+        stats = self._arch_stats.get(arch)
+        if stats is None:
+            stats = self._arch_stats[arch] = _ArchStream()
+        stats.hist.record(lat)
+        if hit is False:
+            stats.misses += 1
+        # exact window, dropped once the run outgrows it
+        w_lat = self._w_lat
+        if w_lat is not None:
+            if self._n <= self.exact_cap:
+                w_lat.append(lat)
+                self._w_queue.append(queue)
+                self._w_arch.append(arch)
+                self._w_hit.append(-1 if hit is None else (1 if hit else 0))
+            else:
+                self._w_lat = self._w_queue = self._w_arch = self._w_hit = None
+                self._window_cache = None
+        if self._spill is not None:
+            self._spill.write(request)
+
+    def exact_window(self) -> ExactWindow | None:
+        """Typed views of the exact window, or ``None`` once outgrown.
+
+        Streaming mode only.  Cached until the next completion, like
+        :meth:`columns`.
+        """
+        if not self.streaming:
+            raise RuntimeError("exact_window() is only meaningful in streaming mode")
+        if self._w_lat is None:
+            return None
+        cached = self._window_cache
+        if cached is not None and len(cached) == self._n:
+            return cached
+        window = ExactWindow(
+            latency=np.asarray(self._w_lat, dtype=np.float64),
+            queueing=np.asarray(self._w_queue, dtype=np.float64),
+            architecture=np.asarray(self._w_arch, dtype=np.int32),
+            cache_hit=np.asarray(self._w_hit, dtype=np.int8),
+        )
+        self._window_cache = window
+        return window
+
+    @property
+    def queueing_sum(self) -> float:
+        """Compensated running sum of queueing delays (streaming mode)."""
+        return self._queue_sum + self._queue_sum_c
+
+    def close_spill(self) -> None:
+        """Flush and close the row-spill CSV, if one was configured."""
+        if self._spill is not None:
+            self._spill.close()
+
+    @property
+    def spill_path(self) -> str | None:
+        return self._spill.path if self._spill is not None else None
+
     def on_cache_event(self, kind: str, gpu_id: str, model_id: str, now: float) -> None:
         self.cache_events += 1
         if kind == "load":
@@ -169,7 +376,10 @@ class MetricsCollector:
     def on_lost(self, request: InferenceRequest, reason: str) -> None:
         """A request left the system without completing (deadline timeout
         or exhausted retry budget)."""
-        self.lost.append(request)
+        if self.streaming:
+            self._lost_streamed += 1
+        else:
+            self.lost.append(request)
         self.lost_reasons[reason] = self.lost_reasons.get(reason, 0) + 1
         if request.retries:
             self.retries_total += request.retries
@@ -187,7 +397,7 @@ class MetricsCollector:
 
     @property
     def lost_count(self) -> int:
-        return len(self.lost)
+        return self._lost_streamed if self.streaming else len(self.lost)
 
     def mean_mttr(self) -> float:
         """Mean time-to-repair over every healed fault (0.0 if none)."""
@@ -234,6 +444,11 @@ class MetricsCollector:
         the next completion, so the several summarize/breakdown consumers
         of one finished run convert each column exactly once.
         """
+        if self.streaming:
+            raise RuntimeError(
+                "streaming collector keeps no per-request columns; "
+                "use exact_window() / lat_hist instead"
+            )
         cached = self._columns_cache
         if cached is not None and len(cached) == self._n:
             return cached

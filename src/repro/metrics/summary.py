@@ -94,6 +94,8 @@ def per_architecture_breakdown(collector: MetricsCollector) -> dict[str, dict[st
     interned architecture codes: one boolean mask per architecture instead
     of a Python dict-of-lists pass over the requests.
     """
+    if getattr(collector, "streaming", False):
+        return _per_architecture_breakdown_streaming(collector)
     if not _columns_current(collector):
         return _per_architecture_breakdown_objects(collector)
     cols = collector.columns()
@@ -112,6 +114,43 @@ def per_architecture_breakdown(collector: MetricsCollector) -> dict[str, dict[st
             "avg_latency_s": float(sel.mean()),
             "p99_latency_s": float(np.percentile(sel, 99)),
             "miss_ratio": float(misses[mask].sum()) / n,
+        }
+    return out
+
+
+def _per_architecture_breakdown_streaming(collector: MetricsCollector) -> dict[str, dict[str, float]]:
+    """Streaming-mode breakdown: exact inside the window, histogram past it."""
+    names = collector.architectures
+    window = collector.exact_window()
+    out: dict[str, dict[str, float]] = {}
+    if window is not None:
+        # same masks, same float64 values, same reductions as the
+        # columnar branch → byte-identical results
+        lat = window.latency
+        misses = window.cache_hit == 0
+        for code in sorted(range(len(names)), key=lambda c: names[c]):
+            mask = window.architecture == code
+            n = int(mask.sum())
+            if not n:
+                continue
+            sel = lat[mask]
+            out[names[code]] = {
+                "count": float(n),
+                "avg_latency_s": float(sel.mean()),
+                "p99_latency_s": float(np.percentile(sel, 99)),
+                "miss_ratio": float(misses[mask].sum()) / n,
+            }
+        return out
+    for code in sorted(collector._arch_stats, key=lambda c: names[c]):
+        stats = collector._arch_stats[code]
+        n = stats.hist.count
+        if not n:
+            continue
+        out[names[code]] = {
+            "count": float(n),
+            "avg_latency_s": stats.hist.mean(),
+            "p99_latency_s": stats.hist.percentile(99),
+            "miss_ratio": stats.misses / n,
         }
     return out
 
@@ -148,6 +187,15 @@ def summarize(
     explicitly when the workload's hottest function is known a priori.
     ``horizon`` defaults to the collector's current simulated time.
     """
+    if getattr(collector, "streaming", False):
+        return _summarize_streaming(
+            collector,
+            cluster,
+            policy=policy,
+            working_set=working_set,
+            horizon=horizon,
+            top_model=top_model,
+        )
     reqs = collector.completed
     end = horizon if horizon is not None else collector.sim.now
     duration = max(end - collector.started_at, 1e-12)
@@ -200,4 +248,72 @@ def summarize(
         mean_mttr_s=float(collector.mean_mttr())
         if hasattr(collector, "mean_mttr")
         else 0.0,
+    )
+
+
+def _summarize_streaming(
+    collector: MetricsCollector,
+    cluster: Cluster,
+    *,
+    policy: str = "?",
+    working_set: int = 0,
+    horizon: float | None = None,
+    top_model: str | None = None,
+) -> RunSummary:
+    """Summary off the streaming collector's fixed-size state.
+
+    While the run still fits the exact window this reduces the identical
+    float64 values with the identical NumPy calls as the columnar branch
+    of :func:`summarize` — byte-for-byte the same :class:`RunSummary`.
+    Past the window, counts / ratios / SLA numbers stay exact (running
+    counters), means come from compensated sums, and quantiles come from
+    the log histograms within their documented relative-error bound.
+    """
+    n = collector.completed_count
+    end = horizon if horizon is not None else collector.sim.now
+    duration = max(end - collector.started_at, 1e-12)
+    if not n:
+        raise ValueError("no completed requests to summarize")
+    window = collector.exact_window()
+    if window is not None:
+        lat = window.latency
+        avg_latency = float(lat.mean())
+        latency_var = float(lat.var(ddof=0))
+        p50 = float(np.percentile(lat, 50))
+        p99 = float(np.percentile(lat, 99))
+        queueing_mean = float(np.mean(window.queueing))
+    else:
+        hist = collector.lat_hist
+        avg_latency = hist.mean()
+        latency_var = hist.variance()
+        p50 = hist.percentile(50)
+        p99 = hist.percentile(99)
+        queueing_mean = collector.queueing_sum / n
+    n_violations = collector.sla_violations
+    sla_violations = n_violations / collector.sla_total if collector.sla_total else 0.0
+    top = top_model if top_model is not None else collector.most_invoked_model()
+    sm = float(np.mean([g.sm_utilization(horizon=duration) for g in cluster.gpus]))
+    return RunSummary(
+        policy=policy,
+        working_set=working_set,
+        completed_requests=n,
+        avg_latency_s=avg_latency,
+        latency_variance=latency_var,
+        p50_latency_s=p50,
+        p99_latency_s=p99,
+        cache_miss_ratio=collector.miss_count / n,
+        sm_utilization=sm,
+        false_miss_ratio=collector.false_miss_count / n,
+        avg_duplicates_top_model=(
+            collector.average_duplicates(top, horizon=end) if top is not None else 0.0
+        ),
+        top_model=top,
+        avg_queueing_s=queueing_mean,
+        horizon_s=duration,
+        sla_violation_ratio=sla_violations,
+        lost_requests=collector.lost_count,
+        total_retries=int(collector.retries_total),
+        goodput_rps=(n - n_violations) / duration,
+        faults_injected=int(collector.faults_injected),
+        mean_mttr_s=float(collector.mean_mttr()),
     )

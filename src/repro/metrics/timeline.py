@@ -20,6 +20,14 @@ event stream — and therefore its DecisionLog, metrics, and final clock —
 is identical to an unprobed one, and a drain-to-empty ``run()`` still
 terminates (a :class:`~repro.sim.PeriodicTimer` would reschedule itself
 forever).
+
+Both keep memory **bounded** when asked: pass ``max_samples`` (an even
+budget) and, whenever the row count hits it, the series is decimated —
+every other row is dropped and the sampling period doubles, so the kept
+rows still sit exactly on the (new, coarser) period boundaries.  A run of
+any length then holds between ``max_samples/2`` and ``max_samples`` rows,
+trading resolution for flat RSS — the timeline analogue of the metrics
+collector's histogram fold.
 """
 
 from __future__ import annotations
@@ -45,6 +53,14 @@ _FIELDS = (
 )
 _FIELD_INDEX = {name: i for i, name in enumerate(_FIELDS)}
 _INT_FIELDS = frozenset(_FIELDS[1:])
+
+
+def _check_max_samples(max_samples: int | None) -> int | None:
+    if max_samples is None:
+        return None
+    if max_samples < 2 or max_samples % 2:
+        raise ValueError("max_samples must be an even number >= 2")
+    return int(max_samples)
 
 #: public row schema shared by :class:`TimelineSampler` and
 #: :class:`TimelineProbe` (and persisted per cell by the sweep store)
@@ -102,11 +118,14 @@ class TimelineSampler:
     >>> sampler.stop()
     """
 
-    def __init__(self, system, *, period_s: float = 5.0) -> None:
+    def __init__(
+        self, system, *, period_s: float = 5.0, max_samples: int | None = None
+    ) -> None:
         if period_s <= 0:
             raise ValueError("period_s must be positive")
         self.system = system
         self.period_s = period_s
+        self.max_samples = _check_max_samples(max_samples)
         self._n = 0
         self._buf = np.empty((64, len(_FIELDS)), dtype=np.float64)
         self._samples_cache: tuple[int, list[TimelineSample]] | None = None
@@ -128,6 +147,24 @@ class TimelineSampler:
             self._buf = grown
         self._buf[i] = _capture_row(system, system.sim.now)
         self._n = i + 1
+        if self.max_samples is not None and self._n == self.max_samples:
+            self._decimate()
+
+    def _decimate(self) -> None:
+        """Halve the series, double the period; rows stay on boundaries.
+
+        Row k sits at ``start + (k+1) * period``; keeping odd indices
+        keeps exactly the even multiples of the old period — which are
+        the boundaries of the doubled one.  The in-flight timer picks the
+        new period up at its next self-reschedule, so the sample after
+        the last kept row lands on the next doubled-period boundary.
+        """
+        kept = self._buf[1 : self._n : 2].copy()
+        self._n = len(kept)
+        self._buf[: self._n] = kept
+        self.period_s *= 2.0
+        self._timer.set_period(self.period_s)
+        self._samples_cache = None
 
     # ------------------------------------------------------------------
     # Series accessors
@@ -201,11 +238,14 @@ class TimelineProbe:
     :class:`TimelineSampler`.
     """
 
-    def __init__(self, system, *, period_s: float = 5.0) -> None:
+    def __init__(
+        self, system, *, period_s: float = 5.0, max_samples: int | None = None
+    ) -> None:
         if period_s <= 0:
             raise ValueError("period_s must be positive")
         self.system = system
         self.period_s = period_s
+        self.max_samples = _check_max_samples(max_samples)
         self._rows: list[tuple] = []
         self._next = system.sim.now + period_s
         self._unsubscribe = system.sim.subscribe_post_event(self._on_event)
@@ -215,6 +255,13 @@ class TimelineProbe:
         while now >= self._next:
             self._rows.append(_capture_row(self.system, self._next))
             self._next += self.period_s
+            if self.max_samples is not None and len(self._rows) == self.max_samples:
+                # same decimation as the sampler: row k is at boundary
+                # (k+1)·period, so odd indices are the even multiples —
+                # the boundaries of the doubled period
+                self._rows = self._rows[1::2]
+                self.period_s *= 2.0
+                self._next = self._rows[-1][0] + self.period_s
 
     def stop(self) -> None:
         """Detach from the simulator (idempotent)."""

@@ -9,7 +9,11 @@ from ..cluster.topology import PAPER_TESTBED, ClusterSpec
 from ..core.policies import DEFAULT_O3_LIMIT
 from ..core.tenancy import TenantQuota
 
-__all__ = ["SystemConfig"]
+__all__ = ["SystemConfig", "streaming_config", "DEFAULT_STREAMING_COMPACT_KEEP"]
+
+#: MVCC revisions retained by :func:`streaming_config`'s autocompaction
+#: default — deep enough for any watcher lag, bounded at any replay size
+DEFAULT_STREAMING_COMPACT_KEEP = 20_000
 
 
 @dataclass(frozen=True)
@@ -47,6 +51,14 @@ class SystemConfig:
     #: None (default) keeps full history.  Compaction never touches live
     #: keys, so scheduling decisions are unaffected.
     kv_autocompact_keep: int | None = None
+    #: sliding window of ``fn/latency/<request_id>`` records each GPU
+    #: Manager retains in the Datastore: past this many, the oldest is
+    #: deleted in the same batched transaction that writes the newest.
+    #: Those keys are write-only during a run (nothing schedules off
+    #: them), but left to accumulate they pin one key string + KeyValue +
+    #: LatencyRecord + history entry per request — the dominant linear
+    #: memory term at 1M requests.  None (default) keeps every record.
+    latency_log_keep: int | None = None
     #: per-tenant quotas (empty = no isolation limits)
     quotas: dict[str, TenantQuota] = field(default_factory=dict)
     #: master seed for all stochastic elements
@@ -73,6 +85,18 @@ class SystemConfig:
     #: built whenever a fault plan is active; TTL must exceed the cadence)
     health_heartbeat_s: float = 1.0
     health_ttl_s: float = 3.0
+    #: flat-memory metrics: fold completions into fixed-size histograms /
+    #: running counters instead of columnar per-request storage (see
+    #: :mod:`repro.metrics.collector`).  Summaries are byte-identical to
+    #: columnar up to ``metrics_exact_cap`` completions, ~1 %-bounded
+    #: quantiles beyond.  False keeps the exact columnar store.
+    metrics_streaming: bool = False
+    #: streaming mode's exact-window size (completions whose scalars are
+    #: retained for byte-exact summaries before histograms take over)
+    metrics_exact_cap: int = 20_000
+    #: optional CSV path: streaming mode tees every completion row there
+    #: for drill-down, since it keeps none of them in memory
+    metrics_spill_path: str | None = None
 
     def __post_init__(self) -> None:
         if self.policy not in ("lb", "locality", "lalb", "lalbo3"):
@@ -83,6 +107,8 @@ class SystemConfig:
             raise ValueError("watch_delay_s cannot be negative")
         if self.kv_autocompact_keep is not None and self.kv_autocompact_keep < 1:
             raise ValueError("kv_autocompact_keep must be >= 1 when set")
+        if self.latency_log_keep is not None and self.latency_log_keep < 1:
+            raise ValueError("latency_log_keep must be >= 1 when set")
         if self.fault_profile not in FAULT_PROFILES:
             known = ", ".join(sorted(FAULT_PROFILES))
             raise ValueError(
@@ -98,6 +124,10 @@ class SystemConfig:
             raise ValueError("health_heartbeat_s must be positive")
         if self.health_ttl_s <= self.health_heartbeat_s:
             raise ValueError("health_ttl_s must exceed health_heartbeat_s")
+        if self.metrics_exact_cap < 0:
+            raise ValueError("metrics_exact_cap cannot be negative")
+        if self.metrics_spill_path is not None and not self.metrics_streaming:
+            raise ValueError("metrics_spill_path requires metrics_streaming=True")
 
     @property
     def faults_active(self) -> bool:
@@ -105,3 +135,28 @@ class SystemConfig:
         if self.fault_plan is not None:
             return len(self.fault_plan) > 0
         return self.fault_profile != "none"
+
+
+def streaming_config(**overrides) -> SystemConfig:
+    """A :class:`SystemConfig` with every at-scale bounded-memory default on.
+
+    The flat-RSS replay preset: streaming metrics (histogram fold past the
+    exact window), MVCC autocompaction (bounded KV event log), and a
+    sliding latency-record window (bounded live key set) — the three
+    linear-memory consumers a million-request replay cannot afford.
+    Any field can still be overridden, including the defaults this preset
+    sets.
+
+    >>> cfg = streaming_config(policy="lalb")
+    >>> cfg.metrics_streaming, cfg.kv_autocompact_keep, cfg.policy
+    (True, 20000, 'lalb')
+    >>> cfg.latency_log_keep
+    20000
+    """
+    merged: dict = {
+        "metrics_streaming": True,
+        "kv_autocompact_keep": DEFAULT_STREAMING_COMPACT_KEEP,
+        "latency_log_keep": DEFAULT_STREAMING_COMPACT_KEEP,
+    }
+    merged.update(overrides)
+    return SystemConfig(**merged)

@@ -48,7 +48,12 @@ class FaaSCluster:
         type_specs: list[GPUTypeSpec] = [spec for _, spec in self.config.cluster.nodes]
         self.registry = ProfileRegistry.from_table1(type_specs)
 
-        self.metrics = MetricsCollector(self.sim)
+        self.metrics = MetricsCollector(
+            self.sim,
+            streaming=self.config.metrics_streaming,
+            exact_cap=self.config.metrics_exact_cap,
+            spill_to=self.config.metrics_spill_path,
+        )
         self._completion_listeners: list = []
         self.cache = CacheManager(
             self.sim,
@@ -82,6 +87,7 @@ class FaaSCluster:
                 self.registry,
                 self.estimator,
                 datastore=self.datastore.client(),
+                latency_keep=self.config.latency_log_keep,
                 on_idle=self._on_gpu_idle,
                 on_complete=self._on_request_complete,
                 # only tenancy observes dispatches; without it the managers
@@ -225,6 +231,47 @@ class FaaSCluster:
             self.scheduler.submit,
             ((r,) for r in requests),
         )
+
+    def submit_workload_streaming(
+        self,
+        workload,
+        *,
+        minutes_per_chunk: int = 8,
+        low_water: int = 64,
+    ) -> None:
+        """Feed a :class:`~repro.traces.StreamingWorkload` chunk by chunk.
+
+        Injects one column chunk of arrivals through ``schedule_many``,
+        then arms a refill: when the arrival ``low_water`` requests from
+        the chunk's tail fires, the *next* chunk is drawn (its RNG state
+        picks up exactly where the previous chunk left off) and injected
+        — so the event heap, slab, and live request objects stay bounded
+        by one chunk plus in-flight work instead of the whole trace.
+
+        The refill event carries ``priority=-1``: it beats the same-time
+        arrival in the tie-break, so the heap never runs dry mid-stream.
+        Scheduling is deterministic — chunk boundaries and refill times
+        are pure functions of the workload spec.
+        """
+        if low_water < 1:
+            raise ValueError("low_water must be >= 1")
+        chunk_iter = workload.chunks(minutes_per_chunk=minutes_per_chunk)
+
+        def inject_next() -> None:
+            for chunk in chunk_iter:
+                n = len(chunk)
+                if not n:  # idle minutes: nothing to schedule, keep pulling
+                    continue
+                requests = workload.materialize(chunk)
+                times = chunk.arrival_times.tolist()
+                self.sim.schedule_many(
+                    times, self.scheduler.submit, ((r,) for r in requests)
+                )
+                refill_at = times[max(0, n - low_water)]
+                self.sim.schedule_at(refill_at, inject_next, priority=-1)
+                return
+
+        inject_next()
 
     def run(self, until: float | None = None) -> None:
         """Advance the simulation (drains all work when ``until`` is None)."""

@@ -17,11 +17,14 @@ from .io import (
     write_invocations_csv,
 )
 from .workload import (
+    StreamingWorkload,
     Workload,
+    WorkloadChunk,
     WorkloadSpec,
     assign_architectures,
     build_workload,
     build_workload_reference,
+    build_workload_streaming,
 )
 
 __all__ = [
@@ -39,9 +42,12 @@ __all__ = [
     "export_synthetic_day",
     "read_invocations_csv",
     "write_invocations_csv",
+    "StreamingWorkload",
     "Workload",
+    "WorkloadChunk",
     "WorkloadSpec",
     "assign_architectures",
     "build_workload",
     "build_workload_reference",
+    "build_workload_streaming",
 ]

@@ -38,11 +38,25 @@ submit_workload` bulk-inject the arrival column with one heap build.
 The literal seed implementation survives as :func:`build_workload_reference`
 so the parity tests can prove the columns encode the *identical* request
 stream (function ids, arrival times, model assignment, per-minute totals).
+
+Streaming pipeline
+------------------
+:func:`build_workload_streaming` is the bounded-memory sibling: it runs the
+same extraction head (counts, normalization, instances) but never
+materializes the flat columns.  :meth:`StreamingWorkload.chunks` is a
+generator that performs **the identical RNG draws, in the identical
+order**, as :func:`build_workload` — one ``shuffle`` + sorted ``uniform``
+per minute against a fresh ``default_rng(seed)`` — and yields the columns
+in :class:`WorkloadChunk` blocks of a few minutes each.  Concatenating
+every chunk reproduces ``build_workload``'s columns byte for byte (proven
+by ``tests/traces/test_workload_chunks.py``), but a million-request replay
+only ever holds one chunk's columns and request objects at a time.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 
@@ -54,8 +68,11 @@ from .azure import SyntheticAzureTrace
 __all__ = [
     "WorkloadSpec",
     "Workload",
+    "WorkloadChunk",
+    "StreamingWorkload",
     "build_workload",
     "build_workload_reference",
+    "build_workload_streaming",
     "assign_architectures",
 ]
 
@@ -162,21 +179,28 @@ class Workload:
         working-set trends in Figs. 4–6.  Computed entirely from the
         columns; no request objects are materialized.
         """
-        per_fn = self.counts.sum(axis=1)
-        total = int(per_fn.sum())
-        sizes = [inst.occupied_mb for inst in self.instances.values()]
-        return {
-            "working_set": self.spec.working_set,
-            "minutes": self.spec.minutes,
-            "total_requests": total,
-            "requests_per_minute": int(self.counts.sum(axis=0)[0]),
-            "top_function_share": float(per_fn.max() / total) if total else 0.0,
-            "top15_share": float(np.sort(per_fn)[::-1][:15].sum() / total) if total else 0.0,
-            "distinct_architectures": len({i.architecture for i in self.instances.values()}),
-            "total_model_footprint_mb": float(sum(sizes)),
-            "mean_model_size_mb": float(np.mean(sizes)),
-            "batch_size": self.spec.batch_size,
-        }
+        return _describe_columns(self.spec, self.counts, self.instances)
+
+
+def _describe_columns(
+    spec: WorkloadSpec, counts: np.ndarray, instances: dict[str, ModelInstance]
+) -> dict:
+    """Shared body of ``Workload.describe`` / ``StreamingWorkload.describe``."""
+    per_fn = counts.sum(axis=1)
+    total = int(per_fn.sum())
+    sizes = [inst.occupied_mb for inst in instances.values()]
+    return {
+        "working_set": spec.working_set,
+        "minutes": spec.minutes,
+        "total_requests": total,
+        "requests_per_minute": int(counts.sum(axis=0)[0]),
+        "top_function_share": float(per_fn.max() / total) if total else 0.0,
+        "top15_share": float(np.sort(per_fn)[::-1][:15].sum() / total) if total else 0.0,
+        "distinct_architectures": len({i.architecture for i in instances.values()}),
+        "total_model_footprint_mb": float(sum(sizes)),
+        "mean_model_size_mb": float(np.mean(sizes)),
+        "batch_size": spec.batch_size,
+    }
 
 
 def assign_architectures(function_ids: list[str]) -> dict[str, str]:
@@ -237,6 +261,25 @@ def _extract(
     return list(function_ids), normalized, instances, rng
 
 
+def _minute_columns(
+    rng: np.random.Generator, base: np.ndarray, normalized: np.ndarray, m: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """One minute's draws: shuffled function indices, sorted uniform arrivals.
+
+    One entry per invocation, shuffled, with sorted uniform arrivals —
+    "we randomly distribute the invocations of different functions while
+    maintaining the normalized total invocations per minute".  This is the
+    single implementation of the per-minute generator contract: both
+    :func:`build_workload` and :meth:`StreamingWorkload.chunks` call it
+    minute by minute against a fresh seeded ``rng``, which is what makes
+    the chunked stream byte-identical to the flat columns.
+    """
+    fn_indices = np.repeat(base, normalized[:, m])
+    rng.shuffle(fn_indices)
+    arrivals = np.sort(rng.uniform(60.0 * m, 60.0 * (m + 1), size=len(fn_indices)))
+    return arrivals, fn_indices
+
+
 def build_workload(
     spec: WorkloadSpec | None = None,
     *,
@@ -264,15 +307,9 @@ def build_workload(
     base = np.arange(n_functions)
     offset = 0
     for m in range(spec.minutes):
-        # one entry per invocation, shuffled, with sorted uniform arrivals —
-        # "we randomly distribute the invocations of different functions
-        # while maintaining the normalized total invocations per minute"
-        fn_indices = np.repeat(base, normalized[:, m])
-        rng.shuffle(fn_indices)
+        arrivals, fn_indices = _minute_columns(rng, base, normalized, m)
         n = len(fn_indices)
-        arrival_col[offset : offset + n] = np.sort(
-            rng.uniform(60.0 * m, 60.0 * (m + 1), size=n)
-        )
+        arrival_col[offset : offset + n] = arrivals
         fn_col[offset : offset + n] = fn_indices
         offset += n
     return Workload(
@@ -335,3 +372,141 @@ def build_workload_reference(
     )
     workload._requests = requests  # already materialized, the hard way
     return workload
+
+
+# ----------------------------------------------------------------------
+# Streaming (chunked) pipeline
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkloadChunk:
+    """A contiguous block of the request stream, as columns.
+
+    ``arrival_times`` is ascending within each minute (and minutes are
+    emitted in order, so across a chunk too);  ``function_index`` indexes
+    the owning :class:`StreamingWorkload`'s ``function_ids``.
+    """
+
+    start_minute: int
+    minutes: int
+    arrival_times: np.ndarray
+    function_index: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.arrival_times.shape[0])
+
+
+@dataclass
+class StreamingWorkload:
+    """The §V-A request stream as a re-iterable sequence of column chunks.
+
+    Holds only the O(working_set × minutes) provenance (normalized counts,
+    model instances); the per-request columns are generated chunk by chunk
+    on demand.  :meth:`chunks` may be called any number of times — each
+    call re-seeds the generator, so every iteration yields the identical
+    stream (and concatenating it equals :func:`build_workload`'s columns
+    exactly).
+    """
+
+    spec: WorkloadSpec
+    instances: dict[str, ModelInstance]
+    counts: np.ndarray                           # (working_set, minutes), normalized
+    function_ids: list[str] = field(default_factory=list)
+    tenant: str = "default"
+
+    def __len__(self) -> int:
+        return self.total_requests
+
+    @property
+    def total_requests(self) -> int:
+        """Requests the full stream will contain (known without drawing)."""
+        return int(self.counts.sum())
+
+    @property
+    def duration_s(self) -> float:
+        return self.spec.minutes * 60.0
+
+    @property
+    def top_function(self) -> str:
+        """Most-invoked function over the extracted window (Fig. 6's model)."""
+        return self.function_ids[int(np.argmax(self.counts.sum(axis=1)))]
+
+    @property
+    def top_model_id(self) -> str:
+        return self.instances[self.top_function].instance_id
+
+    def describe(self) -> dict:
+        """Summary statistics (same contract as :meth:`Workload.describe`)."""
+        return _describe_columns(self.spec, self.counts, self.instances)
+
+    def chunks(self, minutes_per_chunk: int = 8) -> Iterator[WorkloadChunk]:
+        """Generate the stream as column blocks of ``minutes_per_chunk``.
+
+        The draws are minute-by-minute against one fresh
+        ``default_rng(seed)`` — exactly :func:`build_workload`'s loop — so
+        the chunking granularity changes *nothing* about the stream, only
+        how much of it is in memory at once.
+        """
+        if minutes_per_chunk < 1:
+            raise ValueError("minutes_per_chunk must be >= 1")
+        spec = self.spec
+        normalized = self.counts
+        rng = np.random.default_rng(spec.seed)
+        base = np.arange(len(self.function_ids))
+        for start in range(0, spec.minutes, minutes_per_chunk):
+            stop = min(start + minutes_per_chunk, spec.minutes)
+            arrival_parts = []
+            fn_parts = []
+            for m in range(start, stop):
+                arrivals, fn_indices = _minute_columns(rng, base, normalized, m)
+                arrival_parts.append(arrivals)
+                fn_parts.append(fn_indices)
+            yield WorkloadChunk(
+                start_minute=start,
+                minutes=stop - start,
+                arrival_times=np.concatenate(arrival_parts),
+                function_index=np.concatenate(fn_parts),
+            )
+
+    def materialize(self, chunk: WorkloadChunk) -> list[InferenceRequest]:
+        """Build one chunk's request objects (the only ones alive at once).
+
+        Field-identical to the corresponding slice of
+        :attr:`Workload.requests` (``request_id`` excepted — ids are a
+        process-global counter either way).
+        """
+        spec = self.spec
+        fids = self.function_ids
+        instances = self.instances
+        batch, tenant, sla = spec.batch_size, self.tenant, spec.sla_s
+        return [
+            InferenceRequest(
+                (fid := fids[fi]), instances[fid], t, batch, None, tenant, sla
+            )
+            for t, fi in zip(
+                chunk.arrival_times.tolist(), chunk.function_index.tolist()
+            )
+        ]
+
+
+def build_workload_streaming(
+    spec: WorkloadSpec | None = None,
+    *,
+    trace: SyntheticAzureTrace | None = None,
+    tenant: str = "default",
+) -> StreamingWorkload:
+    """Run the §V-A extraction head and return a chunked, lazy stream.
+
+    Shares :func:`_extract` with the other builders (same counts, same
+    normalization, same instances); defers every per-request draw to
+    :meth:`StreamingWorkload.chunks`.
+    """
+    spec = spec or WorkloadSpec()
+    trace = trace or SyntheticAzureTrace()
+    function_ids, normalized, instances, _ = _extract(spec, trace, tenant)
+    return StreamingWorkload(
+        spec=spec,
+        instances=instances,
+        counts=normalized,
+        function_ids=function_ids,
+        tenant=tenant,
+    )

@@ -1,0 +1,96 @@
+"""End-to-end streaming replay: parity with batch, flat memory state.
+
+The streaming pipeline (chunked columns → low-water refill →
+histogram-fold metrics → KV autocompaction) must change *where requests
+live*, never *what the run computes*: at exact-window sizes its summary
+is byte-identical to the batch pipeline's, for any chunking.
+"""
+
+import pytest
+
+from repro.experiments.replay import replay_streaming
+from repro.metrics.summary import summarize
+from repro.runtime import (
+    DEFAULT_STREAMING_COMPACT_KEEP,
+    FaaSCluster,
+    SystemConfig,
+    streaming_config,
+)
+from repro.traces import WorkloadSpec, build_workload, build_workload_streaming
+
+
+SPEC = WorkloadSpec(working_set=15, minutes=6, sla_s=2.0, seed=0)
+
+
+@pytest.fixture(scope="module")
+def batch_summary():
+    workload = build_workload(SPEC)
+    system = FaaSCluster(SystemConfig())
+    system.submit_workload(workload)
+    system.run()
+    return summarize(
+        system.metrics,
+        system.cluster,
+        policy="lalbo3",
+        working_set=SPEC.working_set,
+        top_model=workload.top_model_id,
+    )
+
+
+class TestBatchParity:
+    def test_summary_byte_exact_vs_batch(self, batch_summary):
+        summary, _ = replay_streaming(SPEC)
+        assert summary == batch_summary
+
+    @pytest.mark.parametrize("low_water", [1, 8, 1024])
+    def test_low_water_mark_is_invisible(self, batch_summary, low_water):
+        summary, _ = replay_streaming(SPEC, low_water=low_water)
+        assert summary == batch_summary
+
+    @pytest.mark.parametrize("minutes_per_chunk", [1, 3, 100])
+    def test_chunk_size_is_invisible(self, batch_summary, minutes_per_chunk):
+        summary, _ = replay_streaming(SPEC, minutes_per_chunk=minutes_per_chunk)
+        assert summary == batch_summary
+
+    def test_rejects_bad_low_water(self):
+        system = FaaSCluster(streaming_config())
+        with pytest.raises(ValueError):
+            system.submit_workload_streaming(
+                build_workload_streaming(SPEC), low_water=0
+            )
+
+
+class TestFlatMemoryState:
+    def test_no_linear_state_retained(self):
+        _, system = replay_streaming(SPEC)
+        m = system.metrics
+        assert m.streaming
+        assert m.completed == []
+        assert m._rows == []
+        assert m.lat_hist.count == m.completed_count > 0
+
+    def test_streaming_config_defaults(self):
+        cfg = streaming_config()
+        assert cfg.metrics_streaming
+        assert cfg.kv_autocompact_keep == DEFAULT_STREAMING_COMPACT_KEEP
+        assert streaming_config(kv_autocompact_keep=7).kv_autocompact_keep == 7
+
+    def test_autocompaction_engages(self):
+        cfg = streaming_config(kv_autocompact_keep=200)
+        _, system = replay_streaming(SPEC, config=cfg)
+        kv = system.datastore.kv
+        assert kv.compacted_revision > 0
+        assert kv.revision - kv.compacted_revision <= 2 * 200 + 200
+
+    def test_spill_path_requires_streaming(self):
+        with pytest.raises(ValueError):
+            SystemConfig(metrics_spill_path="/tmp/x.csv")
+
+
+class TestIdleMinutes:
+    def test_empty_chunks_are_skipped(self):
+        # a 1-minute workload chunked at 1 minute exercises the
+        # pull-next-chunk loop ending exactly at the stream's end
+        spec = WorkloadSpec(working_set=15, minutes=1, seed=4)
+        summary, _ = replay_streaming(spec, minutes_per_chunk=1)
+        assert summary.completed_requests > 0

@@ -1,0 +1,115 @@
+"""Unit tests for the fixed-size log-bucketed histogram."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics.histogram import DEFAULT_GROWTH, LogHistogram, quantile_error_bound
+
+
+class TestGeometry:
+    def test_fixed_bucket_count_and_footprint(self):
+        h = LogHistogram()
+        assert h.nbytes() == h.counts.nbytes
+        before = h.nbytes()
+        for v in np.random.default_rng(0).uniform(1e-5, 50.0, size=10_000):
+            h.record(float(v))
+        assert h.nbytes() == before  # memory never grows with samples
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            LogHistogram(lo=0.0, hi=1.0)
+        with pytest.raises(ValueError):
+            LogHistogram(lo=2.0, hi=1.0)
+        with pytest.raises(ValueError):
+            LogHistogram(growth=1.0)
+
+    def test_error_bound_matches_growth(self):
+        assert quantile_error_bound(DEFAULT_GROWTH) == pytest.approx(
+            math.sqrt(DEFAULT_GROWTH) - 1.0
+        )
+        assert LogHistogram().relative_error <= 0.0101
+
+
+class TestExactMoments:
+    def test_count_min_max_sum_exact(self):
+        rng = np.random.default_rng(7)
+        values = rng.lognormal(mean=0.0, sigma=1.5, size=5_000)
+        h = LogHistogram()
+        h.record_many(float(v) for v in values)
+        assert h.count == len(h) == len(values)
+        assert h.min == values.min()
+        assert h.max == values.max()
+        # compensated sum tracks the float64 truth to ~1 ulp
+        assert h.sum == pytest.approx(float(values.sum()), rel=1e-14)
+        assert h.mean() == pytest.approx(float(values.mean()), rel=1e-14)
+        assert h.variance() == pytest.approx(float(values.var(ddof=0)), rel=1e-9)
+
+    def test_empty_histogram_raises(self):
+        h = LogHistogram()
+        with pytest.raises(ValueError):
+            h.mean()
+        with pytest.raises(ValueError):
+            h.quantile(0.5)
+
+
+class TestQuantiles:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("q", [0.01, 0.25, 0.5, 0.9, 0.99])
+    def test_within_documented_relative_bound(self, seed, q):
+        rng = np.random.default_rng(seed)
+        values = rng.lognormal(mean=0.5, sigma=1.0, size=20_000)
+        h = LogHistogram()
+        h.record_many(float(v) for v in values)
+        exact = float(np.quantile(values, q))
+        assert abs(h.quantile(q) - exact) / exact <= h.relative_error + 1e-12
+
+    def test_extremes_are_exact(self):
+        h = LogHistogram()
+        h.record_many([0.5, 1.0, 2.0, 8.0])
+        assert h.quantile(0.0) == 0.5
+        assert h.quantile(1.0) == 8.0
+
+    def test_result_clamped_to_observed_range(self):
+        h = LogHistogram()
+        h.record(3.0)
+        for q in (0.0, 0.5, 1.0):
+            assert h.quantile(q) == 3.0
+
+    def test_below_lo_clamps_into_first_bucket(self):
+        h = LogHistogram(lo=1e-3)
+        h.record(1e-9)  # far below range
+        h.record(1e-9)
+        assert h.count == 2
+        assert h.min == 1e-9  # min/max still exact
+        assert h.quantile(0.5) == 1e-9  # clamped to observed range
+
+    def test_percentile_alias(self):
+        h = LogHistogram()
+        h.record_many([1.0, 2.0, 3.0])
+        assert h.percentile(50.0) == h.quantile(0.5)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+
+class TestMerge:
+    def test_merge_equals_single_fold(self):
+        rng = np.random.default_rng(3)
+        values = rng.uniform(0.01, 100.0, size=4_000)
+        whole = LogHistogram()
+        whole.record_many(float(v) for v in values)
+        a, b = LogHistogram(), LogHistogram()
+        a.record_many(float(v) for v in values[:1_500])
+        b.record_many(float(v) for v in values[1_500:])
+        a.merge(b)
+        assert a.count == whole.count
+        assert np.array_equal(a.counts, whole.counts)
+        assert a.min == whole.min and a.max == whole.max
+        assert a.mean() == pytest.approx(whole.mean(), rel=1e-12)
+        for q in (0.1, 0.5, 0.99):
+            assert a.quantile(q) == whole.quantile(q)
+
+    def test_merge_rejects_mismatched_geometry(self):
+        with pytest.raises(ValueError):
+            LogHistogram().merge(LogHistogram(growth=1.05))

@@ -1,0 +1,176 @@
+"""Streaming collector vs the columnar path: exact-parity contract.
+
+Two collectors observe the *same* run (the streaming one rides the
+completion/cache subscription hooks), so every comparison below is
+same-stream: inside the exact window the streaming summary must be
+byte-identical to the columnar one; past the window counts/rates stay
+exact and quantiles hold the histogram's documented relative bound.
+"""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.summary import per_architecture_breakdown, summarize
+from repro.runtime import FaaSCluster, SystemConfig
+from repro.traces import WorkloadSpec, build_workload
+
+
+def _run_with_shadow(spec, **collector_kwargs):
+    """One §V-A run observed by the columnar collector and a streaming
+    shadow subscribed to the same completion/cache streams."""
+    workload = build_workload(spec)
+    system = FaaSCluster(SystemConfig())
+    shadow = MetricsCollector(system.sim, streaming=True, **collector_kwargs)
+    system.subscribe_completion(shadow.on_complete)
+    system.cache.subscribe(shadow.on_cache_event)
+    system.submit_workload(workload)
+    system.run()
+    return system, shadow, workload
+
+
+@pytest.fixture(scope="module")
+def run_2k():
+    spec = WorkloadSpec(working_set=15, minutes=6, sla_s=2.0, seed=0)
+    return _run_with_shadow(spec)
+
+
+@pytest.fixture(scope="module")
+def run_20k():
+    # 61 minutes × 325 req/min ≈ 19.8k requests: the top of the exact window
+    spec = WorkloadSpec(working_set=15, minutes=61, seed=0)
+    return _run_with_shadow(spec)
+
+
+class TestExactWindowParity:
+    def test_summary_byte_exact_at_2k(self, run_2k):
+        system, shadow, workload = run_2k
+        kwargs = dict(policy="lalbo3", working_set=15, top_model=workload.top_model_id)
+        assert summarize(shadow, system.cluster, **kwargs) == summarize(
+            system.metrics, system.cluster, **kwargs
+        )
+
+    def test_summary_byte_exact_at_20k(self, run_20k):
+        system, shadow, workload = run_20k
+        assert shadow.completed_count > 19_000
+        kwargs = dict(policy="lalbo3", working_set=15, top_model=workload.top_model_id)
+        assert summarize(shadow, system.cluster, **kwargs) == summarize(
+            system.metrics, system.cluster, **kwargs
+        )
+
+    def test_breakdown_byte_exact(self, run_2k):
+        system, shadow, _ = run_2k
+        assert per_architecture_breakdown(shadow) == per_architecture_breakdown(
+            system.metrics
+        )
+
+    def test_window_holds_identical_float64_values(self, run_2k):
+        system, shadow, _ = run_2k
+        window = shadow.exact_window()
+        cols = system.metrics.columns()
+        assert np.array_equal(window.latency, cols.latency)
+        assert np.array_equal(window.queueing, cols.queueing)
+        assert np.array_equal(window.cache_hit, cols.cache_hit)
+
+    def test_streaming_retains_no_request_objects(self, run_2k):
+        _, shadow, _ = run_2k
+        assert shadow.completed == []
+        assert shadow._rows == []
+        with pytest.raises(RuntimeError):
+            shadow.columns()
+
+
+class TestAboveCapRegime:
+    @pytest.fixture(scope="class")
+    def capped(self):
+        spec = WorkloadSpec(working_set=15, minutes=6, sla_s=2.0, seed=0)
+        return _run_with_shadow(spec, exact_cap=500)
+
+    def test_window_dropped_past_cap(self, capped):
+        _, shadow, _ = capped
+        assert shadow.completed_count > 500
+        assert shadow.exact_window() is None
+
+    def test_counts_and_rates_stay_exact(self, capped):
+        system, shadow, workload = capped
+        kwargs = dict(policy="lalbo3", working_set=15, top_model=workload.top_model_id)
+        ref = summarize(system.metrics, system.cluster, **kwargs)
+        got = summarize(shadow, system.cluster, **kwargs)
+        assert got.completed_requests == ref.completed_requests
+        assert got.cache_miss_ratio == ref.cache_miss_ratio
+        assert got.false_miss_ratio == ref.false_miss_ratio
+        assert got.sla_violation_ratio == ref.sla_violation_ratio
+        assert got.goodput_rps == ref.goodput_rps
+        assert got.sm_utilization == ref.sm_utilization
+        assert got.avg_duplicates_top_model == ref.avg_duplicates_top_model
+
+    def test_means_compensated_to_float64_truth(self, capped):
+        system, shadow, workload = capped
+        kwargs = dict(policy="lalbo3", working_set=15, top_model=workload.top_model_id)
+        ref = summarize(system.metrics, system.cluster, **kwargs)
+        got = summarize(shadow, system.cluster, **kwargs)
+        assert got.avg_latency_s == pytest.approx(ref.avg_latency_s, rel=1e-12)
+        assert got.avg_queueing_s == pytest.approx(ref.avg_queueing_s, rel=1e-12)
+        assert got.latency_variance == pytest.approx(ref.latency_variance, rel=1e-9)
+
+    def test_quantiles_within_documented_bound(self, capped):
+        system, shadow, workload = capped
+        kwargs = dict(policy="lalbo3", working_set=15, top_model=workload.top_model_id)
+        ref = summarize(system.metrics, system.cluster, **kwargs)
+        got = summarize(shadow, system.cluster, **kwargs)
+        bound = shadow.lat_hist.relative_error + 1e-12
+        assert abs(got.p50_latency_s - ref.p50_latency_s) / ref.p50_latency_s <= bound
+        assert abs(got.p99_latency_s - ref.p99_latency_s) / ref.p99_latency_s <= bound
+
+    def test_breakdown_counts_exact_means_bounded(self, capped):
+        system, shadow, _ = capped
+        ref = per_architecture_breakdown(system.metrics)
+        got = per_architecture_breakdown(shadow)
+        assert set(got) == set(ref)
+        for arch, cell in got.items():
+            assert cell["count"] == ref[arch]["count"]
+            assert cell["miss_ratio"] == ref[arch]["miss_ratio"]
+            assert cell["avg_latency_s"] == pytest.approx(
+                ref[arch]["avg_latency_s"], rel=1e-12
+            )
+
+
+class TestSpill:
+    def test_rows_teed_to_csv(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        spec = WorkloadSpec(working_set=15, minutes=1, sla_s=2.0, seed=0)
+        system, shadow, _ = _run_with_shadow(
+            spec, exact_cap=10, spill_to=str(path)
+        )
+        shadow.close_spill()
+        assert shadow.spill_path == str(path)
+        with open(path, newline="") as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == shadow.completed_count
+        # the spill holds full-fidelity rows, cap notwithstanding
+        ref = system.metrics.columns()
+        assert float(rows[0]["arrival"]) == ref.arrival[0]
+        assert float(rows[0]["completed"]) == ref.completed[0]
+        assert rows[0]["architecture"] in system.metrics.architectures
+
+
+class TestModeGuards:
+    def test_exact_window_requires_streaming(self):
+        system = FaaSCluster(SystemConfig())
+        with pytest.raises(RuntimeError):
+            system.metrics.exact_window()
+
+    def test_lost_requests_counted_not_retained(self):
+        system = FaaSCluster(SystemConfig())
+        shadow = MetricsCollector(system.sim, streaming=True)
+        from repro.models import ModelInstance, get_profile
+
+        inst = ModelInstance("m0", get_profile("resnet50"))
+        from repro.core.request import InferenceRequest
+
+        req = InferenceRequest("f", inst, arrival_time=0.0)
+        shadow.on_lost(req, "deadline")
+        assert shadow.lost_count == 1
+        assert shadow.lost == []

@@ -76,6 +76,69 @@ class TestSampling:
         assert len(sampler.samples) == 3
 
 
+class TestDecimation:
+    """max_samples: drop every other row, double the period, stay on
+    boundaries — the run holds between max/2 and max rows at any length."""
+
+    def test_sampler_decimates_onto_doubled_boundaries(self, system):
+        trace = SyntheticAzureTrace(
+            AzureTraceConfig(num_functions=100, mean_rate_per_minute=500, seed=4)
+        )
+        wl = build_workload(
+            WorkloadSpec(working_set=4, minutes=2, requests_per_minute=30), trace=trace
+        )
+        sampler = TimelineSampler(system, period_s=10.0, max_samples=8)
+        sampler.start()
+        for r in wl.requests:
+            system.submit_at(r)
+        system.run(until=wl.duration_s)
+        sampler.stop()
+        system.run()
+        # 120 s at period 10 is 12 raw rows; the budget of 8 forces one
+        # decimation at t=80, after which sampling continues at period 20
+        assert sampler.period_s == 20.0
+        times = sampler.series("time_s")
+        np.testing.assert_allclose(times, [20, 40, 60, 80, 100, 120])
+        assert len(sampler.samples) == 6 <= sampler.max_samples
+
+    def test_probe_decimates_onto_doubled_boundaries(self, system):
+        from repro.metrics.timeline import TimelineProbe
+
+        trace = SyntheticAzureTrace(
+            AzureTraceConfig(num_functions=100, mean_rate_per_minute=500, seed=4)
+        )
+        wl = build_workload(
+            WorkloadSpec(working_set=4, minutes=2, requests_per_minute=30), trace=trace
+        )
+        probe = TimelineProbe(system, period_s=5.0, max_samples=8)
+        for r in wl.requests:
+            system.submit_at(r)
+        system.run(until=wl.duration_s)
+        probe.stop()
+        system.run()
+        # the raw period-5 boundaries cross the budget twice: 5→10→20 s.
+        # (being passive, the probe records a boundary only once a later
+        # event crosses it, so the final 120 s boundary never lands)
+        assert probe.period_s == 20.0
+        times = probe.to_numpy()[:, 0]
+        np.testing.assert_allclose(times, [20, 40, 60, 80, 100])
+        assert len(probe) == 5 <= probe.max_samples
+
+    def test_decimated_counters_still_monotone(self, system):
+        sampler, _ = run_small_workload(system, sampler_period=5.0)
+        done = sampler.series("completed_requests")
+        assert np.all(np.diff(done) >= 0)
+
+    @pytest.mark.parametrize("bad", [0, 1, 3, 7])
+    def test_rejects_odd_or_tiny_budget(self, system, bad):
+        with pytest.raises(ValueError):
+            TimelineSampler(system, max_samples=bad)
+        from repro.metrics.timeline import TimelineProbe
+
+        with pytest.raises(ValueError):
+            TimelineProbe(system, max_samples=bad)
+
+
 class TestAccessors:
     def test_unknown_field_rejected(self, system):
         sampler, _ = run_small_workload(system)
