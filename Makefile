@@ -9,17 +9,21 @@ test:
 
 ## Scheduler perf trajectory: runs benchmarks/test_scheduler_overhead.py
 ## under pytest-benchmark, replays the §V-A workload end-to-end at
-## 2k/20k/100k requests, measures the sweep orchestrator's grid scaling
-## at 1/2/4 workers (+ resume-from-store), and writes BENCH_scheduler.json
-## (committed, so every PR is measured against the last).
+## 2k/20k/100k requests, measures the commit path (WriteBatch.flush +
+## compaction, ephemeral-key tier on vs off under bounded retention),
+## measures the sweep orchestrator's grid scaling at 1/2/4 workers
+## (+ resume-from-store), and writes BENCH_scheduler.json (committed, so
+## every PR is measured against the last).
 bench:
 	python -m repro.experiments bench
 
 ## Gate the committed trajectory: fails when the 20k/2k pass-cost ratio
 ## exceeds 3x, the batched path drifts from ~1 revision per action, the
-## sharded sweep's merged payload drifts from the sequential one, resume
-## of a completed sweep stops being served from the store in <1 s, or
-## (on >=2-core machines) the 4-worker grid speedup drops below 1.5x.
+## ephemeral tier stops cutting >=20% off per-action commit cost at 2k
+## (or stops shrinking history), the sharded sweep's merged payload
+## drifts from the sequential one, resume of a completed sweep stops
+## being served from the store in <1 s, or (on >=2-core machines) the
+## 4-worker grid speedup drops below 1.5x.
 bench-check:
 	python -m repro.experiments bench-check
 
@@ -27,9 +31,11 @@ bench-check:
 parity:
 	python -m pytest tests/core/test_decision_parity.py -q
 
-## cProfile the 2k-request §V-A replay and print the top-25 functions by
-## cumulative time — the tool that found every hot spot so far (index
-## scans, batched txns, columnar replay, pass elision).
+## cProfile the 2k-request §V-A replay: the top-25 functions by
+## cumulative time, then a per-subsystem rollup (commit path, dispatch,
+## scheduling passes, cache manager, metrics, sim kernel) of exclusive
+## time — the tools that found every hot spot so far (index scans,
+## batched txns, columnar replay, pass elision, commit-path residue).
 ##   make profile                          # 2k requests
 ##   make profile PROFILE_REQUESTS=20000   # deeper replay
 PROFILE_REQUESTS ?= 2000

@@ -89,6 +89,13 @@ class GPUDevice:
         #: observer called on every state or completion-count change; the
         #: Cluster uses it to keep its idle/busy views incremental
         self.on_change: Callable[["GPUDevice"], None] | None = None
+        # array-backed lifecycle slots, stamped at construction by the
+        # owning GPUManager (node-local) and Scheduler (cluster-wide): the
+        # hot execute → _loaded → _start_inference → _finished chain and
+        # the dispatch plumbing index preallocated lists with these instead
+        # of hashing gpu_id strings into per-manager dicts on every event
+        self._mgr_slot = 0
+        self._sched_slot = 0
 
     @property
     def completed_requests(self) -> int:

@@ -86,13 +86,26 @@ class GPUManager:
         self.on_complete = on_complete or (lambda req: None)
         self.on_dispatch = on_dispatch or (lambda req: None)
         self.on_drained = on_drained or (lambda gpu: None)
-        self._executing: dict[str, InferenceRequest] = {}  # gpu_id -> in-flight request
-        self._pending_event: dict[str, object] = {}  # gpu_id -> scheduled sim Event
-        #: GPUs finishing their in-flight request before going offline
-        self._draining: set[str] = set()
-        #: straggler injection: gpu_id -> multiplicative slowdown on the
-        #: *actual* load/inference durations (absent = healthy)
-        self._slowdown: dict[str, float] = {}
+        # --- array-backed per-GPU lifecycle state -----------------------
+        # Each device gets a dense node-local slot at construction; the
+        # dispatch/completion chain then indexes preallocated lists instead
+        # of hashing gpu_id strings into dicts on every event.  The cold
+        # entry points that arrive with a bare gpu_id (set_slowdown,
+        # is_draining, in_flight) translate through _slot_of once.
+        n = len(node.gpus)
+        self._slot_of: dict[str, int] = {}
+        for slot, gpu in enumerate(node.gpus):
+            gpu._mgr_slot = slot
+            self._slot_of[gpu.gpu_id] = slot
+        #: slot -> in-flight request (None = nothing executing there)
+        self._executing: list[InferenceRequest | None] = [None] * n
+        #: slot -> scheduled load/inference completion sim Event
+        self._pending_event: list[object | None] = [None] * n
+        #: slot -> finishing its in-flight request before going offline
+        self._draining: list[bool] = [False] * n
+        #: straggler injection: slot -> multiplicative slowdown on the
+        #: *actual* load/inference durations (None = healthy)
+        self._slowdown: list[float | None] = [None] * n
         # sliding window over this manager's fn/latency/* keys: when
         # latency_keep is set, writing record N deletes record N-keep in
         # the same batched transaction, so the store's live set (and the
@@ -101,10 +114,10 @@ class GPUManager:
         # scheduling is untouched either way.
         self._latency_keep = latency_keep
         self._latency_log: deque[str] = deque()
-        # per-GPU key strings, built once: status/finish-time puts happen on
-        # every dispatch and completion
-        self._status_key = {g.gpu_id: f"gpu/status/{g.gpu_id}" for g in node.gpus}
-        self._finish_key = {g.gpu_id: f"gpu/finish_time/{g.gpu_id}" for g in node.gpus}
+        # per-GPU key strings interned once, slot-indexed: status and
+        # finish-time puts happen on every dispatch and completion
+        self._status_key = [f"gpu/status/{g.gpu_id}" for g in node.gpus]
+        self._finish_key = [f"gpu/finish_time/{g.gpu_id}" for g in node.gpus]
         for gpu in node.gpus:
             self._set_status(gpu, "idle")
 
@@ -117,13 +130,14 @@ class GPUManager:
             raise ValueError(f"{gpu.gpu_id} is not managed by node {self.node.node_id}")
         if not gpu.is_idle:
             raise RuntimeError(f"{gpu.gpu_id} is busy; the Scheduler must dispatch to idle GPUs")
-        if gpu.gpu_id in self._executing:
+        slot = gpu._mgr_slot
+        if self._executing[slot] is not None:
             raise RuntimeError(f"{gpu.gpu_id} already has an in-flight request")
 
         request.state = RequestState.DISPATCHED
         request.gpu_id = gpu.gpu_id
         request.dispatched_at = self.sim._now  # hot path: skip the property
-        self._executing[gpu.gpu_id] = request
+        self._executing[slot] = request
         self._set_status(gpu, "busy")
 
         if self.cache.is_cached_on(request.model_id, gpu.gpu_id):
@@ -151,12 +165,12 @@ class GPUManager:
         gpu.begin_loading()
         load_t = self.estimator.load_time(request, gpu)
         infer_t = self.estimator.infer_time(request, gpu)
-        slow = self._slowdown.get(gpu.gpu_id)
+        slow = self._slowdown[gpu._mgr_slot]
         if slow is not None:
             load_t *= slow
             infer_t *= slow
         self._publish_busy_until(gpu, self.sim._now + load_t + infer_t)
-        self._pending_event[gpu.gpu_id] = self.sim.schedule(
+        self._pending_event[gpu._mgr_slot] = self.sim.schedule(
             load_t, self._loaded, gpu, proc, request
         )
 
@@ -173,17 +187,17 @@ class GPUManager:
         gpu.begin_inference()
         request.exec_start_at = self.sim._now
         infer_t = self.estimator.infer_time(request, gpu)
-        slow = self._slowdown.get(gpu.gpu_id)
+        slow = self._slowdown[gpu._mgr_slot]
         if slow is not None:
             infer_t *= slow
         self._publish_busy_until(gpu, self.sim._now + infer_t)
-        self._pending_event[gpu.gpu_id] = self.sim.schedule(
+        self._pending_event[gpu._mgr_slot] = self.sim.schedule(
             infer_t, self._finished, gpu, proc, request
         )
 
     def _finished(self, gpu: GPUDevice, proc: GPUProcess, request: InferenceRequest) -> None:
-        gpu_id = gpu.gpu_id
-        draining = gpu_id in self._draining
+        slot = gpu._mgr_slot
+        draining = self._draining[slot]
         proc.mark_done()
         # bump the use-frequency *before* the idle flip: the cluster's
         # incremental frequency-ordered idle view then files the GPU once,
@@ -198,9 +212,9 @@ class GPUManager:
         network = request.model.metadata.get("network")
         if request.payload is not None and network is not None:
             request.result = network(request.payload)
-        del self._executing[gpu_id]
-        self._pending_event.pop(gpu_id, None)
-        self.estimator.clear_busy(gpu_id)
+        self._executing[slot] = None
+        self._pending_event[slot] = None
+        self.estimator.clear_busy(gpu.gpu_id)
         if draining:
             # graceful drain completion: the request finished normally;
             # now retire the GPU.  The LRU touch is skipped — every cache
@@ -211,7 +225,7 @@ class GPUManager:
             self.on_complete(request)
             self.on_drained(gpu)
             return
-        self.cache.on_used(gpu_id, request.model_id)
+        self.cache.on_used(gpu.gpu_id, request.model_id)
         self._set_status(gpu, "idle")
         self._record_latency(request)
         self.on_complete(request)
@@ -232,10 +246,13 @@ class GPUManager:
         """
         if gpu.node_id != self.node.node_id:
             raise ValueError(f"{gpu.gpu_id} is not managed by node {self.node.node_id}")
-        event = self._pending_event.pop(gpu.gpu_id, None)
+        slot = gpu._mgr_slot
+        event = self._pending_event[slot]
         if event is not None:
+            self._pending_event[slot] = None
             event.cancel()  # O(1): frees the event's slab slot immediately
-        inflight = self._executing.pop(gpu.gpu_id, None)
+        inflight = self._executing[slot]
+        self._executing[slot] = None
         self._take_offline(gpu)
         return inflight
 
@@ -257,8 +274,9 @@ class GPUManager:
             raise ValueError(f"{gpu.gpu_id} is not managed by node {self.node.node_id}")
         if not gpu.is_online:
             return False
-        if gpu.gpu_id in self._executing:
-            self._draining.add(gpu.gpu_id)
+        slot = gpu._mgr_slot
+        if self._executing[slot] is not None:
+            self._draining[slot] = True
             self._set_status(gpu, "draining")
             return True
         self._take_offline(gpu)
@@ -276,7 +294,7 @@ class GPUManager:
         gpu.go_offline()
         self.estimator.clear_busy(gpu.gpu_id)
         self._set_status(gpu, "offline")
-        self._draining.discard(gpu.gpu_id)
+        self._draining[gpu._mgr_slot] = False
 
     def recover(self, gpu: GPUDevice) -> None:
         """Bring a failed GPU back, empty, and report it idle."""
@@ -285,7 +303,7 @@ class GPUManager:
         self.on_idle(gpu)
 
     def is_draining(self, gpu_id: str) -> bool:
-        return gpu_id in self._draining
+        return self._draining[self._slot_of[gpu_id]]
 
     def set_slowdown(self, gpu_id: str, factor: float) -> None:
         """Multiply this GPU's *actual* load/inference durations by
@@ -300,25 +318,23 @@ class GPUManager:
         """
         if factor < 1.0:
             raise ValueError("slowdown factor must be >= 1.0")
-        if factor == 1.0:
-            self._slowdown.pop(gpu_id, None)
-        else:
-            self._slowdown[gpu_id] = factor
+        slot = self._slot_of[gpu_id]
+        self._slowdown[slot] = None if factor == 1.0 else factor
 
     # ------------------------------------------------------------------
     # Datastore reporting (§III-C, §III-E)
     # ------------------------------------------------------------------
     def in_flight(self, gpu_id: str) -> InferenceRequest | None:
-        return self._executing.get(gpu_id)
+        return self._executing[self._slot_of[gpu_id]]
 
     def _publish_busy_until(self, gpu: GPUDevice, t: float) -> None:
         self.estimator.set_busy_until(gpu.gpu_id, t)
         if self.datastore is not None:
-            self.datastore.put(self._finish_key[gpu.gpu_id], t)
+            self.datastore.put(self._finish_key[gpu._mgr_slot], t)
 
     def _set_status(self, gpu: GPUDevice, status: str) -> None:
         if self.datastore is not None:
-            self.datastore.put(self._status_key[gpu.gpu_id], status)
+            self.datastore.put(self._status_key[gpu._mgr_slot], status)
 
     def _record_latency(self, request: InferenceRequest) -> None:
         if self.datastore is None:

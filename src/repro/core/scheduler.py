@@ -77,17 +77,22 @@ class Scheduler:
         )
         self.datastore = datastore
         self.tenancy = tenancy
-        # per-GPU dispatch plumbing, precomputed once: the "GPU address"
-        # (server IP + device name, §III-B) and the owning manager used to
-        # cost a node_of lookup, a string split, and a tuple per dispatch
-        self._address_of: dict[str, tuple[str, str]] = {}
-        self._manager_of: dict[str, GPUManager] = {}
+        # per-GPU dispatch plumbing, precomputed once and array-backed:
+        # each device is stamped with a dense cluster-wide slot, and the
+        # "GPU address" (server IP + device name, §III-B) plus the owning
+        # manager live in slot-indexed lists — _execute costs two list
+        # reads per dispatch instead of hashing the gpu_id string twice
+        # (and the historical node_of lookup / string split / tuple mint)
+        self._address_by_slot: list[tuple[str, str]] = []
+        self._manager_by_slot: list[GPUManager | None] = []
+        slot = 0
         for node in cluster.nodes:
             manager = gpu_managers.get(node.node_id)
             for g in node.gpus:
-                self._address_of[g.gpu_id] = node.gpu_address(g)
-                if manager is not None:
-                    self._manager_of[g.gpu_id] = manager
+                g._sched_slot = slot
+                slot += 1
+                self._address_by_slot.append(node.gpu_address(g))
+                self._manager_by_slot.append(manager)
         self._scheduling = False
         self._work_exhausted = False
         self.dispatched_count = 0
@@ -354,6 +359,7 @@ class Scheduler:
     def _execute(self, request: InferenceRequest, gpu: GPUDevice) -> None:
         # the "GPU address" shipped with the function's container (§III-B);
         # the manager stamps RequestState.DISPATCHED as part of execute()
-        request.gpu_address = self._address_of[gpu.gpu_id]
-        self._manager_of[gpu.gpu_id].execute(request, gpu)
+        slot = gpu._sched_slot
+        request.gpu_address = self._address_by_slot[slot]
+        self._manager_by_slot[slot].execute(request, gpu)
         self.dispatched_count += 1

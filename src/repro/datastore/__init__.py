@@ -9,7 +9,7 @@ last-write-wins per key, one coalesced watch delivery), which is what
 
 from .batch import DELETE, WriteBatch
 from .client import Datastore, DatastoreClient, WriteStats
-from .kv import BatchCommit, CompactedError, KeyValue, KVStore
+from .kv import BatchCommit, CompactedError, EphemeralKeyError, KeyValue, KVStore
 from .lease import Lease, LeaseManager
 from .txn import Compare, CompareTarget, Op, Txn, TxnResult
 from .watch import EventType, Watch, WatchBatch, WatchEvent, WatchHub
@@ -20,6 +20,7 @@ __all__ = [
     "WriteStats",
     "BatchCommit",
     "CompactedError",
+    "EphemeralKeyError",
     "KeyValue",
     "KVStore",
     "DELETE",

@@ -24,6 +24,13 @@ kinds of entry exist:
 The batch also answers overlay reads (:meth:`peek`) so a batched
 :class:`~repro.datastore.client.DatastoreClient` keeps read-your-writes
 semantics between flushes.
+
+Ephemeral keys need no special handling here: they accumulate, coalesce,
+overlay, and commit exactly like durable keys — the fast lane lives in
+:meth:`KVStore._apply_put`/``_apply_delete``, where a committed ephemeral
+key skips the history/event-log bookkeeping the batch's transaction would
+otherwise pay per key.  The flush's coalesced map is handed to
+``KVStore._apply_coalesced`` unchanged either way.
 """
 
 from __future__ import annotations
@@ -52,7 +59,7 @@ _LAZY = "lazy"
 _DEL = "delete"
 #: shared singleton delete op — one commit may carry many deletes and the
 #: coalesced map needs no per-entry state for them
-_DELETE_OP = ("delete",)
+_DELETE_OP = (_DEL,)
 
 
 class WriteBatch:
@@ -60,16 +67,26 @@ class WriteBatch:
 
     def __init__(self, store: KVStore) -> None:
         self._store = store
-        # key -> (kind, payload, lease, fresh); insertion order = first-touch
-        # order, which becomes the committed batch's event order.  ``fresh``
-        # marks a put that overwrote a pending delete: the flush re-emits the
-        # delete before it so the store recreates the key (version 1), just
-        # as the sequential delete-then-put would have.
+        # key -> ("put", value, fresh) | ("lazy", thunk, fresh) | ("delete",)
+        # — the *same* entry shapes ``KVStore._apply_coalesced`` consumes, so
+        # the flush hands over a plain ``dict.copy()`` instead of re-minting
+        # one tuple per key.  Insertion order = first-touch order, which
+        # becomes the committed batch's event order.  ``fresh`` marks a put
+        # that overwrote a pending delete: the flush re-emits the delete
+        # before it so the store recreates the key (version 1), just as the
+        # sequential delete-then-put would have.
         #
         # The dict object is stable for the batch's lifetime (flush drains
         # it in place): the Datastore's per-event safety-net hook closes
         # over it so the no-op path is a single truthiness test.
-        self._pending: dict[str, tuple[str, Any, "Lease | None", bool]] = {}
+        self._pending: dict[str, tuple] = {}
+        #: keys whose latest put/put_lazy carried a lease (rare: only lease
+        #: users pay for it; the empty-dict truthiness test on the lease-less
+        #: path is one attribute load)
+        self._leases: dict[str, "Lease"] = {}
+        #: count of pending lazy entries, so a flush with none skips the
+        #: thunk-resolution pass entirely
+        self._lazy = 0
         #: writes absorbed by last-write-wins since the last flush — each
         #: one is a revision bump (and watch fan-out) the batch removed
         self.overwritten = 0
@@ -86,30 +103,53 @@ class WriteBatch:
     # ------------------------------------------------------------------
     def put(self, key: str, value: Any, *, lease: "Lease | None" = None) -> None:
         """Record a put; overwrites any pending entry for ``key``."""
-        prior = self._pending.get(key)
+        pending = self._pending
+        prior = pending.get(key)
         fresh = False
         if prior is not None:
             self.overwritten += 1
-            fresh = prior[0] is _DEL or prior[3]  # put lands over a delete
-        self._pending[key] = (_PUT, value, lease, fresh)
+            kind = prior[0]
+            fresh = kind is _DEL or prior[2]  # put lands over a delete
+            if kind is _LAZY:
+                self._lazy -= 1
+        pending[key] = (_PUT, value, fresh)
+        if lease is not None:
+            self._leases[key] = lease
+        elif self._leases:
+            self._leases.pop(key, None)
 
     def put_lazy(
         self, key: str, thunk: Callable[[], Any], *, lease: "Lease | None" = None
     ) -> None:
         """Mark ``key`` dirty; ``thunk()`` supplies the value at flush time
         (or :data:`DELETE` to delete the key instead)."""
-        prior = self._pending.get(key)
+        pending = self._pending
+        prior = pending.get(key)
         fresh = False
-        if prior is not None:
+        if prior is None:
+            self._lazy += 1
+        else:
             self.overwritten += 1
-            fresh = prior[0] is _DEL or prior[3]
-        self._pending[key] = (_LAZY, thunk, lease, fresh)
+            kind = prior[0]
+            fresh = kind is _DEL or prior[2]
+            if kind is not _LAZY:
+                self._lazy += 1
+        pending[key] = (_LAZY, thunk, fresh)
+        if lease is not None:
+            self._leases[key] = lease
+        elif self._leases:
+            self._leases.pop(key, None)
 
     def delete(self, key: str) -> None:
         """Record a delete; overwrites any pending entry for ``key``."""
-        if key in self._pending:
+        prior = self._pending.get(key)
+        if prior is not None:
             self.overwritten += 1
-        self._pending[key] = (_DEL, None, None, False)
+            if prior[0] is _LAZY:
+                self._lazy -= 1
+        self._pending[key] = _DELETE_OP
+        if self._leases:
+            self._leases.pop(key, None)
 
     # ------------------------------------------------------------------
     # Overlay reads (read-your-writes between flushes)
@@ -122,11 +162,13 @@ class WriteBatch:
         entry = self._pending.get(key)
         if entry is None:
             return None
-        kind, payload, _, _ = entry
-        if kind == _LAZY:
-            value = payload()
+        kind = entry[0]
+        if kind is _LAZY:
+            value = entry[1]()
             return (_DEL, None) if value is DELETE else (_PUT, value)
-        return (kind, payload)
+        if kind is _PUT:
+            return (_PUT, entry[1])
+        return (_DEL, None)
 
     def pending_items(self) -> Iterator[tuple[str, str, Any]]:
         """Iterate ``(key, kind, value)`` of every pending entry (lazy
@@ -161,37 +203,37 @@ class WriteBatch:
         pending = self._pending
         if not pending:
             return BatchCommit(revision=None, events=(), existed={})
-        # hand the store the coalesced {key: op} map it would have rebuilt
-        # from an op list anyway; ``fresh`` puts replay their absorbed
-        # delete inside the store (key recreated at version 1), exactly as
-        # the sequential delete-then-put would have
-        coalesced: dict[str, tuple] = {}
-        leases: list[tuple[str, "Lease"]] | None = None
-        for key, (kind, payload, lease, fresh) in pending.items():
-            if kind is _LAZY:
-                value = payload()
-                if value is DELETE:
-                    coalesced[key] = _DELETE_OP
-                    continue
-                kind, payload = _PUT, value
-            if kind is _PUT:
-                coalesced[key] = (_PUT, payload, fresh)
-                if lease is not None:
-                    if leases is None:
-                        leases = []
-                    leases.append((key, lease))
-            else:
-                coalesced[key] = _DELETE_OP
-        # clear in place *after* building the op map but *before* applying:
+        # resolve lazy thunks in place (value reassignment on an existing
+        # key never resizes the dict, so iterating while storing is safe);
+        # after this every entry already has the coalesced {key: op} shape
+        # the store consumes, and the handoff is a single C-level copy
+        if self._lazy:
+            for key, entry in pending.items():
+                if entry[0] is _LAZY:
+                    value = entry[1]()
+                    pending[key] = (
+                        _DELETE_OP if value is DELETE else (_PUT, value, entry[2])
+                    )
+            self._lazy = 0
+        coalesced = pending.copy()
+        # clear in place *after* taking the op map but *before* applying:
         # the dict keeps its identity (the post-event hook closes over it)
         # and watcher callbacks fired by the commit start the next batch
         # instead of mutating the one being committed
         pending.clear()
+        leases = self._leases
+        if leases:
+            lease_items: list[tuple[str, "Lease"]] | None = list(leases.items())
+            leases.clear()
+        else:
+            lease_items = None
         # the per-action flush discards the pre-commit liveness map, so
         # skip building it (transactions use apply_batch, which keeps it)
         commit = self._store._apply_coalesced(coalesced, want_existed=False)
-        if leases is not None and commit.revision is not None:
-            for key, lease in leases:
-                if lease.alive:
+        if lease_items is not None and commit.revision is not None:
+            for key, lease in lease_items:
+                # a lazy entry whose thunk returned DELETE keeps its lease
+                # recorded but commits as a delete — never attach for those
+                if lease.alive and coalesced[key][0] is _PUT:
                     lease.attach(key)
         return commit

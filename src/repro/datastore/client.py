@@ -35,6 +35,15 @@ post-event hook.  Client reads overlay the pending batch, so components
 keep read-your-writes semantics between flushes.  ``batched=False`` (the
 default for a bare :class:`Datastore`) preserves the literal one-revision-
 per-put path.
+
+Ephemeral-key tier
+------------------
+``ephemeral_prefixes=(...)`` routes matching keys (typically the
+high-churn ``gpu/status/*`` / ``gpu/finish_time/*`` / ``fn/latency/*``
+status keys) through the store's fast lane: identical live reads,
+read-your-writes, and watch delivery, but no MVCC history or event-log
+records — historical reads of those keys raise
+:class:`~repro.datastore.kv.EphemeralKeyError`.  See :mod:`.kv`.
 """
 
 from __future__ import annotations
@@ -88,10 +97,15 @@ class Datastore:
     """The system-wide etcd-like store (KV + watches + leases + txns)."""
 
     def __init__(
-        self, sim: Simulator, *, watch_delay: float = 0.0, batched: bool = False
+        self,
+        sim: Simulator,
+        *,
+        watch_delay: float = 0.0,
+        batched: bool = False,
+        ephemeral_prefixes: tuple[str, ...] = (),
     ) -> None:
         self.sim = sim
-        self.kv = KVStore()
+        self.kv = KVStore(ephemeral_prefixes=ephemeral_prefixes)
         self.watches = WatchHub(self.kv, sim=sim, delay=watch_delay)
         self.leases = LeaseManager(sim, self.kv)
         self.batched = batched
@@ -139,7 +153,9 @@ class Datastore:
             commit = pending.flush()
             if commit.revision is not None:
                 stats.flushes += 1
-                n = len(commit.events)
+                # commit.count, not len(commit.events): the hookless flush
+                # fast path commits without materializing event tuples
+                n = commit.count
                 stats.committed_keys += n
                 committed += n
             if not pending._pending:
@@ -262,19 +278,29 @@ class DatastoreClient:
         fn: Callable[..., None],
         *,
         prefix: bool = False,
+        start_revision: int | None = None,
         coalesced: bool = False,
         max_pending: int | None = None,
     ) -> Watch:
         """Watch a namespaced key (or prefix) for changes.
 
-        ``coalesced=True`` delivers one
+        ``start_revision`` first replays every historical mutation after
+        that revision (etcd's "watch from revision"); registrations that
+        cover the store's ephemeral tier raise
+        :class:`~repro.datastore.kv.EphemeralKeyError` — those mutations
+        were never event-logged.  ``coalesced=True`` delivers one
         :class:`~repro.datastore.watch.WatchBatch` per committed
         transaction instead of individual events.  ``max_pending`` bounds
         a delayed watcher's delivery queue (drop-oldest backpressure; see
         :class:`~repro.datastore.watch.Watch`).
         """
         return self._store.watches.watch(
-            self._k(key), fn, prefix=prefix, coalesced=coalesced, max_pending=max_pending
+            self._k(key),
+            fn,
+            prefix=prefix,
+            start_revision=start_revision,
+            coalesced=coalesced,
+            max_pending=max_pending,
         )
 
     def lease(self, ttl: float) -> Lease:

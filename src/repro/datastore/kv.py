@@ -23,6 +23,24 @@ Values are arbitrary Python objects; like etcd, the store never interprets
 them.  It is in-process and synchronous — the "distributed" aspect of etcd
 matters to the paper only as a consistent shared blackboard, which a single
 linearizable store models exactly.
+
+Ephemeral-key tier
+------------------
+High-churn status keys (``gpu/status/*``, ``gpu/finish_time/*``,
+``fn/latency/*``) are written on every dispatch and completion, yet
+nothing ever reads them at a historical revision — paying full MVCC
+history and event-log bookkeeping for them is pure commit-path residue.
+A store built with ``ephemeral_prefixes=(...)`` routes matching keys
+through a fast lane: live view, current-value reads, and watch delivery
+are identical, but no per-key history columns and no event-log records
+are retained, and revision *lineage* is not tracked — an ephemeral key's
+``create_revision`` always equals its ``mod_revision`` and its
+``version`` is pinned at 1, because without history there is nothing to
+anchor lineage to.  The trade is explicit and typed: ``get(key,
+revision=...)`` and watch-from-revision replay raise
+:class:`EphemeralKeyError` for ephemeral keys, and compaction becomes
+near-free for them (there is nothing to discard).  The tier is opt-in;
+with the default ``()`` every key keeps full etcd semantics, bit for bit.
 """
 
 from __future__ import annotations
@@ -31,13 +49,19 @@ import bisect
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, NamedTuple, Sequence
 
-__all__ = ["KeyValue", "KVStore", "CompactedError", "BatchCommit"]
+__all__ = ["KeyValue", "KVStore", "CompactedError", "EphemeralKeyError", "BatchCommit"]
 
 _TOMBSTONE = object()
 
 
 class CompactedError(LookupError):
     """Raised when reading at a revision that has been compacted away."""
+
+
+class EphemeralKeyError(LookupError):
+    """Raised on a historical read (or watch-from-revision replay) of a key
+    in the store's ephemeral tier: ephemeral keys keep no MVCC history and
+    no event-log records, so the requested view never existed."""
 
 
 class KeyValue(NamedTuple):
@@ -55,6 +79,12 @@ class KeyValue(NamedTuple):
     version: int  # number of writes since creation; 1 for a fresh key
 
 
+#: mint KeyValues via ``_tuple_new(KeyValue, (...))`` on the commit path:
+#: it builds the identical object but skips the generated Python-level
+#: ``__new__`` wrapper (~2x faster per mint, one mint per committed key)
+_tuple_new = tuple.__new__
+
+
 class BatchCommit(NamedTuple):
     """Result of one atomic multi-key commit (:meth:`KVStore.apply_batch`).
 
@@ -70,12 +100,29 @@ class BatchCommit(NamedTuple):
     revision: int | None
     events: tuple[tuple[str, KeyValue | None], ...]
     existed: dict[str, bool]
+    #: number of keys the commit mutated.  Authoritative where ``events``
+    #: may be skipped: the hookless per-action flush (no watches, no
+    #: mutation hooks, ``want_existed=False``) commits without building
+    #: per-event tuples nobody would read, and returns ``events=()`` with
+    #: the true count here.
+    count: int = 0
 
 
 class KVStore:
     """In-memory MVCC key-value store with etcd semantics."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, ephemeral_prefixes: Sequence[str] = ()) -> None:
+        for prefix in ephemeral_prefixes:
+            if not isinstance(prefix, str) or not prefix:
+                raise ValueError("ephemeral prefixes must be non-empty strings")
+        #: key prefixes routed through the ephemeral fast lane (no per-key
+        #: history, no event-log records; see the module docstring).  A
+        #: tuple because ``str.startswith`` accepts one natively — the
+        #: per-put membership test is a single C-level call, and with the
+        #: default ``()`` it short-circuits on the falsy tuple.
+        self._ephemeral: tuple[str, ...] = tuple(ephemeral_prefixes)
+        #: writes that took the ephemeral fast lane (puts + deletes)
+        self.ephemeral_writes = 0
         self._revision = 0
         self._compacted = 0
         # live view: key -> KeyValue
@@ -125,6 +172,32 @@ class KVStore:
     def __contains__(self, key: str) -> bool:
         return key in self._live
 
+    @property
+    def ephemeral_prefixes(self) -> tuple[str, ...]:
+        """The configured ephemeral-tier prefixes (empty = tier off)."""
+        return self._ephemeral
+
+    def is_ephemeral(self, key: str) -> bool:
+        """Whether ``key`` routes through the ephemeral fast lane."""
+        return bool(self._ephemeral) and key.startswith(self._ephemeral)
+
+    def history_entry_count(self) -> int:
+        """Total per-key history entries currently retained (bench probe:
+        the commit-path residue the ephemeral tier removes)."""
+        return sum(len(revs) for revs, _ in self._history.values())
+
+    def check_replayable(self, key: str, *, prefix: bool = False) -> None:
+        """Raise :class:`EphemeralKeyError` when a watch-from-revision
+        replay of ``key`` (or the prefix under it) could cover ephemeral
+        keys: their mutations were never event-logged, so a historical
+        replay would silently miss them."""
+        for eph in self._ephemeral:
+            if key.startswith(eph) or (prefix and eph.startswith(key)):
+                raise EphemeralKeyError(
+                    f"cannot replay history for {key!r}: it covers the "
+                    f"ephemeral tier ({eph!r} keeps no event log)"
+                )
+
     def keys(self) -> list[str]:
         """All live keys, sorted (cached until the key set changes)."""
         return list(self._sorted())
@@ -145,15 +218,32 @@ class KVStore:
         preserves the sequential delete-then-put metadata.
         """
         revision = self._revision
-        prev = None if fresh else self._live.get(key)
+        live = self._live
+        if self._ephemeral and key.startswith(self._ephemeral):
+            # ephemeral fast lane: live view + watch fan-out only — no
+            # history columns, no event-log records, and no lineage (a
+            # lineage-free mint: create_revision = mod_revision, version
+            # pinned at 1 — without history there is nothing to anchor
+            # version counting to, and skipping the prev lookup keeps the
+            # lane a mint + dict store).  The len probe replaces the prev
+            # lookup for sorted-key invalidation: the cache only cares
+            # whether the key *set* grew.
+            kv = _tuple_new(KeyValue, (key, value, revision, revision, 1))
+            before = len(live)
+            live[key] = kv
+            if len(live) != before:
+                self._sorted_keys = None
+            self.ephemeral_writes += 1
+            return kv
+        prev = None if fresh else live.get(key)
         if prev is None:
-            kv = KeyValue(key, value, revision, revision, 1)
+            kv = _tuple_new(KeyValue, (key, value, revision, revision, 1))
             self._sorted_keys = None
         else:
             # prev[2]/prev[4] = create_revision/version by index: this runs
             # per committed key and NamedTuple attribute descriptors cost
-            kv = KeyValue(key, value, prev[2], revision, prev[4] + 1)
-        self._live[key] = kv
+            kv = _tuple_new(KeyValue, (key, value, prev[2], revision, prev[4] + 1))
+        live[key] = kv
         hist = self._history.get(key)
         if hist is None:  # first write: mint the history pre-populated
             self._history[key] = ([revision], [kv])
@@ -169,6 +259,12 @@ class KVStore:
         """Remove live ``key`` at the current (already bumped) revision."""
         del self._live[key]
         self._sorted_keys = None
+        if self._ephemeral and key.startswith(self._ephemeral):
+            # ephemeral fast lane: no tombstone, no event-log record —
+            # the latency-log window's per-completion delete costs only
+            # the live-map removal
+            self.ephemeral_writes += 1
+            return
         self._record(key, _TOMBSTONE)
         self._event_revs.append(self._revision)
         self._event_keys.append(key)
@@ -256,35 +352,89 @@ class KVStore:
         if not effective:
             return BatchCommit(revision=None, events=(), existed=existed)
         self._revision += 1
-        events: list[tuple[str, KeyValue | None]] = []
+        revision = self._revision
         apply_put = self._apply_put
+        # the ephemeral branch is inlined rather than routed through
+        # _apply_put: the control plane commits 2-3 ephemeral keys per
+        # scheduling action through exactly this loop, and the method
+        # call + prev lookup were the last per-key residue left
+        eph = self._ephemeral
+        if not want_existed and not self._on_mutation and not self._on_batch:
+            # hookless flush fast path: no watcher or mutation hook will
+            # ever see per-event tuples and the flush caller reads only
+            # the committed-key count, so skip building the events list
+            count = 0
+            for key, entry in coalesced.items():
+                if entry[0] == "put":
+                    if eph and key.startswith(eph):
+                        kv = _tuple_new(
+                            KeyValue, (key, entry[1], revision, revision, 1)
+                        )
+                        before = len(live)
+                        live[key] = kv
+                        if len(live) != before:
+                            self._sorted_keys = None
+                        self.ephemeral_writes += 1
+                    else:
+                        apply_put(key, entry[1], fresh=entry[2])
+                    count += 1
+                elif key in live:
+                    self._apply_delete(key)
+                    count += 1
+            return BatchCommit(revision, (), existed, count)
+        events: list[tuple[str, KeyValue | None]] = []
+        events_append = events.append
         for key, entry in coalesced.items():
             if entry[0] == "put":
-                events.append((key, apply_put(key, entry[1], fresh=entry[2])))
+                if eph and key.startswith(eph):
+                    kv = _tuple_new(KeyValue, (key, entry[1], revision, revision, 1))
+                    before = len(live)
+                    live[key] = kv
+                    if len(live) != before:
+                        self._sorted_keys = None
+                    self.ephemeral_writes += 1
+                    events_append((key, kv))
+                else:
+                    events_append((key, apply_put(key, entry[1], fresh=entry[2])))
             elif existed[key] if want_existed else key in live:
                 self._apply_delete(key)
-                events.append((key, None))
+                events_append((key, None))
         if self._on_mutation:
             for key, kv in events:
                 self._notify(key, kv, self._revision)
         if self._on_batch:
             self._notify_batch(self._revision, events)
-        return BatchCommit(revision=self._revision, events=tuple(events), existed=existed)
+        return BatchCommit(self._revision, tuple(events), existed, len(events))
 
     def delete_prefix(self, prefix: str) -> int:
-        """Delete every key starting with ``prefix``; returns count deleted."""
+        """Delete every key starting with ``prefix``; returns count deleted.
+
+        All victims commit as **one** :meth:`apply_batch` revision — one
+        coalesced watch delivery, one event-log group — instead of one
+        revision per key, so namespace teardown and drain paths keep the
+        batched write path's one-commit-per-action shape.
+        """
         victims = [k for k in self._live if k.startswith(prefix)]
-        for k in victims:
-            self.delete(k)
+        if victims:
+            self.apply_batch([("delete", k) for k in victims])
         return len(victims)
 
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
     def get(self, key: str, revision: int | None = None) -> KeyValue | None:
-        """Read ``key`` at the latest (or a historical) revision."""
+        """Read ``key`` at the latest (or a historical) revision.
+
+        Historical reads of ephemeral-tier keys raise
+        :class:`EphemeralKeyError` — those keys keep no history by design.
+        """
         if revision is None:
             return self._live.get(key)
+        if self._ephemeral and key.startswith(self._ephemeral):
+            raise EphemeralKeyError(
+                f"{key!r} is in the ephemeral tier: historical reads are "
+                "unavailable (no MVCC history is retained)"
+            )
         if revision < self._compacted:
             raise CompactedError(
                 f"revision {revision} compacted (compacted at {self._compacted})"
@@ -336,13 +486,22 @@ class KVStore:
             hi = min(hi, lo + limit)
         return [self._live[k] for k in keys[lo:hi]]
 
-    def events_since(self, revision: int) -> list[tuple[int, str, KeyValue | None]]:
+    def events_since(
+        self, revision: int, *, key_prefix: str | None = None
+    ) -> list[tuple[int, str, KeyValue | None]]:
         """All mutations with revision strictly greater than ``revision``.
 
         Powers watch replay ("watch from revision").  A batch commit
         contributes one entry per coalesced key, all sharing the batch's
         revision.  Raises :class:`CompactedError` when the requested start
         has been compacted.
+
+        ``key_prefix`` narrows the replay to keys under that prefix and
+        raises :class:`EphemeralKeyError` when the prefix overlaps the
+        ephemeral tier: those mutations were never logged, so the filtered
+        replay would be silently incomplete.  With ``key_prefix=None`` the
+        full durable log is returned — ephemeral keys are absent from it
+        by construction (documented tier semantics, not an error).
         """
         if revision < self._compacted:
             # events at or below the compaction point are gone, so a replay
@@ -350,10 +509,15 @@ class KVStore:
             raise CompactedError(
                 f"cannot replay from revision {revision}: compacted at {self._compacted}"
             )
+        if key_prefix is not None:
+            self.check_replayable(key_prefix, prefix=True)
         idx = bisect.bisect_right(self._event_revs, revision)
-        return list(
-            zip(self._event_revs[idx:], self._event_keys[idx:], self._event_vals[idx:])
+        events = zip(
+            self._event_revs[idx:], self._event_keys[idx:], self._event_vals[idx:]
         )
+        if key_prefix is None:
+            return list(events)
+        return [ev for ev in events if ev[1].startswith(key_prefix)]
 
     def items(self) -> Iterator[KeyValue]:
         """Iterate live pairs in key order."""

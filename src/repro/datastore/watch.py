@@ -177,9 +177,16 @@ class WatchHub:
         replay is grouped per historical revision the same way.
         ``max_pending`` bounds the delayed-delivery queue (drop-oldest; see
         :class:`Watch`); it has no effect on synchronous delivery, which
-        never queues."""
+        never queues.
+
+        Catch-up replay requires an event log: requesting
+        ``start_revision`` for a registration that covers the store's
+        ephemeral tier raises
+        :class:`~repro.datastore.kv.EphemeralKeyError` (ephemeral keys are
+        never event-logged — live delivery still works for them)."""
         w = Watch(self, key, prefix, fn, coalesced, max_pending)
         if start_revision is not None:
+            self._store.check_replayable(key, prefix=prefix)
             for revision, group in groupby(
                 self._store.events_since(start_revision), key=lambda e: e[0]
             ):

@@ -1,10 +1,16 @@
 """Runtime assembly: configuration and the FaaSCluster facade."""
 
-from .config import DEFAULT_STREAMING_COMPACT_KEEP, SystemConfig, streaming_config
+from .config import (
+    DEFAULT_STREAMING_COMPACT_KEEP,
+    EPHEMERAL_HOT_PREFIXES,
+    SystemConfig,
+    streaming_config,
+)
 from .system import FaaSCluster
 
 __all__ = [
     "DEFAULT_STREAMING_COMPACT_KEEP",
+    "EPHEMERAL_HOT_PREFIXES",
     "SystemConfig",
     "FaaSCluster",
     "streaming_config",

@@ -42,6 +42,7 @@ class FaaSCluster:
             self.sim,
             watch_delay=self.config.watch_delay_s,
             batched=self.config.datastore_batching,
+            ephemeral_prefixes=self.config.ephemeral_prefixes,
         )
 
         # model profiles for every GPU type present (§VI heterogeneity)
