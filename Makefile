@@ -1,7 +1,7 @@
 # Convenience targets for the conf_ipps_ZhaoJH23 reproduction.
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-check parity profile figures sweep
+.PHONY: test bench bench-check parity profile figures sweep trace
 
 ## Tier-1 verification: the full unit/property/benchmark suite.
 test:
@@ -22,8 +22,11 @@ bench:
 ## ephemeral tier stops cutting >=20% off per-action commit cost at 2k
 ## (or stops shrinking history), the sharded sweep's merged payload
 ## drifts from the sequential one, resume of a completed sweep stops
-## being served from the store in <1 s, or (on >=2-core machines) the
-## 4-worker grid speedup drops below 1.5x.
+## being served from the store in <1 s, (on >=2-core machines) the
+## 4-worker grid speedup drops below 1.5x, or the observability gates
+## fail: flight-recorder overhead > 5% over tracer-off, tracer-off
+## throughput below the calibration-relative floor, an invalid exported
+## trace, or decision logs diverging under tracing (docs/observability.md).
 bench-check:
 	python -m repro.experiments bench-check
 
@@ -41,6 +44,14 @@ parity:
 PROFILE_REQUESTS ?= 2000
 profile:
 	python -m repro.experiments profile --profile-requests $(PROFILE_REQUESTS)
+
+## Flight-recorder replay: run the 2k §V-A workload with tracing on and
+## write a Perfetto-loadable trace.json (docs/observability.md).
+##   make trace                            # 2k requests -> trace.json
+##   make trace TRACE_REQUESTS=20000       # deeper replay
+TRACE_REQUESTS ?= 2000
+trace:
+	python -m repro.experiments trace --requests $(TRACE_REQUESTS)
 
 ## Regenerate the paper's tables and figures through the sweep
 ## orchestrator (WORKERS processes).  Figures always re-execute unless a

@@ -64,6 +64,9 @@ class ChaosInjector:
     def _crash(self, fault: GPUCrash) -> None:
         gpu = self._gpu(fault.gpu_index)
         if not gpu.is_online:
+            tracer = self.system.tracer
+            if tracer is not None:
+                tracer.fault_skipped("crash", gpu.gpu_id)
             return  # another fault already owns this GPU
         self.injected += 1
         self.system.metrics.on_fault("crash", gpu.gpu_id)
@@ -74,6 +77,9 @@ class ChaosInjector:
     def _recover(self, gpu_id: str) -> None:
         gpu = self.system.cluster.gpu(gpu_id)
         if gpu.is_online:
+            tracer = self.system.tracer
+            if tracer is not None:
+                tracer.fault_skipped("crash_recover", gpu_id)
             return  # already healed (e.g. by the watchdog)
         self.system.recover_gpu(gpu_id)
         self.system.metrics.on_fault_cleared("crash", gpu_id)

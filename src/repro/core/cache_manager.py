@@ -62,6 +62,10 @@ class CacheManager:
         self._locations_sorted: dict[str, list[str]] = {}  # invalidated on load/evict
         self._datastore = datastore
         self._observers: list[CacheEvent] = []
+        #: optional flight recorder (installed by the runtime when tracing
+        #: is on); load/evict only — ``on_used`` runs on every dispatch and
+        #: stays uninstrumented
+        self.tracer = None
         # dirty-key names and thunks, built once per GPU / lazily per model:
         # _publish runs on every cache touch, so no f-strings or closures
         # are allocated on that path.  Published values are tuples — an
@@ -146,6 +150,8 @@ class CacheManager:
         self._locations_sorted.pop(instance.instance_id, None)
         self._publish(gpu_id, instance.instance_id)
         self._emit("load", gpu_id, instance.instance_id)
+        if self.tracer is not None:
+            self.tracer.cache_event("load", gpu_id, instance.instance_id)
 
     def on_evicted(self, gpu_id: str, model_id: str) -> None:
         """A model's process was killed and its memory released."""
@@ -158,6 +164,8 @@ class CacheManager:
         self._locations_sorted.pop(model_id, None)
         self._publish(gpu_id, model_id)
         self._emit("evict", gpu_id, model_id)
+        if self.tracer is not None:
+            self.tracer.cache_event("evict", gpu_id, model_id)
 
     def on_used(self, gpu_id: str, model_id: str) -> None:
         """An inference on ``gpu_id`` reused the cached model (LRU touch).

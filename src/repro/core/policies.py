@@ -322,6 +322,9 @@ class LALBPolicy(SchedulingPolicy):
 
     def schedule_pass(self, s: SchedulerOps) -> bool:
         work = getattr(s, "pass_work_remaining", None)
+        # explain mode: the Scheduler always defines the attribute (None
+        # when off), so this getattr stays on the found-attribute path
+        exp = getattr(s, "explain", None)
         peek = s.local_queues.peek
         queue = s.global_queue
         progress = False
@@ -330,6 +333,8 @@ class LALBPolicy(SchedulingPolicy):
                 continue
             # Alg. 1 lines 2–5: local queue has absolute priority.
             if peek(gpu.gpu_id) is not None:
+                if exp is not None:
+                    exp.note("alg1:local_queue_priority", gpu.gpu_id)
                 s.dispatch_local_head(gpu)
                 progress = True
             elif queue._live == 0 or not self._schedule_gpu(s, gpu):
@@ -374,6 +379,7 @@ class LALBPolicy(SchedulingPolicy):
           lazy prefix update.
         """
         queue = s.global_queue
+        exp = getattr(s, "explain", None)
         acted = False
         # -- first scan (lines 6–16) --------------------------------------
         # strategy pick off two O(1) signals: when the queue (including
@@ -397,6 +403,12 @@ class LALBPolicy(SchedulingPolicy):
         # nothing-starved state.
         if queue.starved_count:
             for entry in queue.starved_entries_before(stop_slot):
+                if exp is not None:
+                    exp.note(
+                        "alg1:starved_promotion",
+                        f"request={entry.request.request_id}",
+                        f"visits={entry.request.visits}>limit={self.limit}",
+                    )
                 outcome = self._locality_load_balance(
                     s, gpu, entry.request, admission_trivial=True
                 )
@@ -408,6 +420,8 @@ class LALBPolicy(SchedulingPolicy):
                 acted = True  # "handled" (admission is trivial, never "blocked")
         if hit is not None:
             queue.bump_visits_before(stop_slot)  # skips strictly before the hit
+            if exp is not None:
+                exp.note("alg1:cached_here", hit.request.model_id, gpu.gpu_id)
             s.dispatch(hit.request, gpu)  # line 8
             return True
         queue.bump_visits_before(None)  # no hit: the whole queue was skipped
@@ -430,15 +444,24 @@ class LALBPolicy(SchedulingPolicy):
         The literal O(queue) transcription of the paper's pseudocode; the
         fast path above must match it decision for decision.
         """
+        exp = getattr(s, "explain", None)
         acted = False
         # -- first scan (lines 6–16): look for a cache hit on this GPU ----
         for request in s.global_queue:
             if not s.may_dispatch(request):
                 continue
             if s.cache.is_cached_on(request.model_id, gpu.gpu_id):
+                if exp is not None:
+                    exp.note("alg1:cached_here", request.model_id, gpu.gpu_id)
                 s.dispatch(request, gpu)  # line 8
                 return True
             if request.visits > self.limit:  # line 11: starvation guard
+                if exp is not None:
+                    exp.note(
+                        "alg1:starved_promotion",
+                        f"request={request.request_id}",
+                        f"visits={request.visits}>limit={self.limit}",
+                    )
                 outcome = self._locality_load_balance(s, gpu, request)
                 if outcome == "to_this_gpu":
                     return True  # line 13: GPUi consumed → next GPU
@@ -474,6 +497,7 @@ class LALBPolicy(SchedulingPolicy):
         * ``"blocked"`` — left in the global queue because the tenant's
           quota forbids starting a new GPU process (§VI extension).
         """
+        exp = getattr(s, "explain", None)
         locations = s.cache.locations(request.model_id)
         # Lines 1–3: not cached anywhere → allow the miss on GPUi
         # (subject to the tenant's quota on new GPU processes, §VI).
@@ -481,9 +505,15 @@ class LALBPolicy(SchedulingPolicy):
         # that no probe can refuse, so the probes themselves are elided.
         if not locations:
             if not admission_trivial and not s.may_dispatch(request, gpu_i):
+                if exp is not None:
+                    exp.note("alg2:blocked_by_quota", request.tenant, gpu_i.gpu_id)
                 return "blocked"  # stays queued until the tenant's usage drops
+            if exp is not None:
+                exp.note("alg2:not_cached_anywhere", "miss on", gpu_i.gpu_id)
             s.dispatch(request, gpu_i)
             return "to_this_gpu"
+        if exp is not None:
+            exp.note("alg2:candidates", *locations)
         # Lines 4–6: cached on another idle GPU → dispatch there instead.
         # (Skip idle GPUs whose local queue is pending — Alg. 1 gives local
         # queues absolute priority, so those GPUs are already spoken for.)
@@ -494,8 +524,16 @@ class LALBPolicy(SchedulingPolicy):
                 and other.gpu_id != gpu_i.gpu_id
                 and s.local_queues.peek(other.gpu_id) is None
             ):
+                if exp is not None:
+                    exp.note("alg2:cached_on_idle_gpu", other.gpu_id)
                 s.dispatch(request, other)
                 return "handled"
+            elif exp is not None:
+                why = (
+                    "is_scanning_gpu" if other.gpu_id == gpu_i.gpu_id
+                    else ("busy" if not other.is_idle else "local_queue_pending")
+                )
+                exp.note("alg2:rejected", other.gpu_id, why)
         # Lines 8–15: cached on busy GPUs → queue behind the cached copy
         # when the wait beats the model-loading time on the idle GPU.
         for gpu_id in locations:
@@ -503,12 +541,20 @@ class LALBPolicy(SchedulingPolicy):
             if busy.is_idle:
                 continue
             if s.estimator.hit_on_busy_beats_miss_on_idle(request, busy, gpu_i):
+                if exp is not None:
+                    exp.note("alg2:wait_beats_load", busy.gpu_id)
                 s.move_to_local(request, busy)
                 return "handled"
+            elif exp is not None:
+                exp.note("alg2:load_beats_wait", busy.gpu_id)
         # Lines 16–18: no busy GPU wins → allow the cache miss on GPUi
         # (again subject to the tenant's new-process quota).
         if not admission_trivial and not s.may_dispatch(request, gpu_i):
+            if exp is not None:
+                exp.note("alg2:blocked_by_quota", request.tenant, gpu_i.gpu_id)
             return "blocked"
+        if exp is not None:
+            exp.note("alg2:miss_on_idle_wins", gpu_i.gpu_id)
         s.dispatch(request, gpu_i)
         return "to_this_gpu"
 

@@ -27,6 +27,8 @@ that elision actually engages.  The pre-elision engine survives as
 
 from __future__ import annotations
 
+from time import perf_counter_ns
+
 from ..cluster.gpu import GPUDevice
 from ..cluster.topology import Cluster
 from ..datastore.client import DatastoreClient
@@ -122,6 +124,13 @@ class Scheduler:
         # (None keeps the policies on the full historical walk, and keeps
         # their getattr probe on the cheap found-attribute path)
         self.pass_work_remaining = self._pass_work_remaining if pass_elision else None
+        #: flight recorder, installed by the runtime when tracing is on;
+        #: None keeps _run_policy on the uninstrumented engines
+        self._tracer = None
+        #: ExplainLog when SystemConfig(trace_decisions=True); always
+        #: defined so the policies' getattr probe stays on the cheap
+        #: found-attribute path
+        self.explain = None
 
     # ------------------------------------------------------------------
     # Entry points
@@ -239,6 +248,9 @@ class Scheduler:
         """
         if self._scheduling:
             return
+        if self._tracer is not None or self.explain is not None:
+            self._run_policy_observed()
+            return
         if self.pass_elision:
             guard_may_act = self.policy.guard.may_act
             if not guard_may_act(self):
@@ -274,6 +286,146 @@ class Scheduler:
                     break
         finally:
             self._scheduling = False
+
+    def _signal_state(self) -> str:
+        """The dirty-signal snapshot an armed/elided pass saw (explain
+        mode only — builds a string, never called on the default path)."""
+        return (
+            f"idle={self.cluster.idle_count} "
+            f"queued={self.global_queue._live} "
+            f"local={self.local_queues.total()} "
+            f"idle_local_work={bool(self.idle_local_work)}"
+        )
+
+    def _run_policy_observed(self) -> None:
+        """:meth:`_run_policy` with the tracer/explain hooks threaded in.
+
+        Runs exactly the passes the uninstrumented engines run, in the
+        same order (the observability parity suite asserts byte-identical
+        DecisionLogs); adds a wall-clock span per ``span_stride``-th
+        executed pass when a tracer is installed (unsampled passes only
+        bump the exact counter) and pass/elision context when explain is
+        on.
+        Kept separate so the default engines above stay literally
+        untouched — "zero cost when off" is two identity tests (and the
+        runtime rebinds ``_run_policy`` to this method when it installs
+        a tracer, so the on path does not even pay the extra dispatch).
+
+        The pass ring is written *in place* rather than through
+        ``tracer.pass_span``: one closure call per executed pass is
+        measurable at 2k-replay rates, and ``_tracer`` here is always
+        the runtime-installed :class:`~repro.obs.FlightRecorder` (the
+        lower-rate hooks elsewhere go through the Tracer protocol).
+        """
+        if self._scheduling:
+            return
+        tracer = self._tracer
+        explain = self.explain
+        if self.pass_elision:
+            guard_may_act = self.policy.guard.may_act
+            if not guard_may_act(self):
+                self.passes_elided += 1
+                if explain is not None:
+                    explain.pass_elided(self.sim._now, self._signal_state())
+                return
+            if tracer is not None:
+                # loop-invariant tracer state, bound once per armed
+                # invocation (after the early-outs: most invocations
+                # elide, and the elided path should pay nothing extra).
+                # decision_log is the underlying deque — len() on it is
+                # a C-level size read, where len(self.decisions) would
+                # dispatch a Python __len__ twice per sampled pass
+                decision_log = self.decisions._log
+                p_state = tracer._p_state
+                p_stride = tracer.span_stride
+            self._scheduling = True
+            try:
+                while True:
+                    self.passes_executed += 1
+                    self._work_exhausted = False
+                    if explain is not None:
+                        explain.pass_begin(self.passes_executed, self._signal_state())
+                    if tracer is not None:
+                        # count every pass; clock + record only the
+                        # stride-sampled ones (the probes are the cost)
+                        n = p_state[2] + 1
+                        p_state[2] = n
+                        if n % p_stride:
+                            progressed = self.policy.schedule_pass(self)
+                        else:
+                            d0 = len(decision_log)
+                            t0 = perf_counter_ns()
+                            progressed = self.policy.schedule_pass(self)
+                            wall = perf_counter_ns() - t0
+                            p_buf = tracer._p_buf
+                            i = p_state[0]
+                            b = i * 3
+                            p_buf[b] = self.sim._now
+                            p_buf[b + 1] = wall
+                            p_buf[b + 2] = len(decision_log) - d0
+                            p_state[1] += 1
+                            i += 1
+                            p_state[0] = 0 if i == tracer.capacity else i
+                    else:
+                        progressed = self.policy.schedule_pass(self)
+                    if not progressed:
+                        break
+                    if self._work_exhausted or not guard_may_act(self):
+                        self.passes_elided += 1
+                        if explain is not None:
+                            explain.pass_elided(self.sim._now, self._signal_state())
+                        break
+            finally:
+                self._scheduling = False
+                if explain is not None:
+                    explain.pass_end()
+            return
+        # mirrored reference engine (pre-elision run/stop conditions)
+        if not self.cluster.idle_gpus():
+            return
+        if len(self.global_queue) == 0 and self.local_queues.total() == 0:
+            return
+        if tracer is not None:
+            decision_log = self.decisions._log
+            p_state = tracer._p_state
+            p_stride = tracer.span_stride
+        self._scheduling = True
+        try:
+            while True:
+                self.passes_executed += 1
+                if explain is not None:
+                    explain.pass_begin(self.passes_executed, self._signal_state())
+                if tracer is not None:
+                    n = p_state[2] + 1
+                    p_state[2] = n
+                    if n % p_stride:
+                        progressed = self.policy.schedule_pass(self)
+                    else:
+                        d0 = len(decision_log)
+                        t0 = perf_counter_ns()
+                        progressed = self.policy.schedule_pass(self)
+                        wall = perf_counter_ns() - t0
+                        p_buf = tracer._p_buf
+                        i = p_state[0]
+                        b = i * 3
+                        p_buf[b] = self.sim._now
+                        p_buf[b + 1] = wall
+                        p_buf[b + 2] = len(decision_log) - d0
+                        p_state[1] += 1
+                        i += 1
+                        p_state[0] = 0 if i == tracer.capacity else i
+                else:
+                    progressed = self.policy.schedule_pass(self)
+                if not progressed:
+                    break
+                if not self.cluster.idle_gpus():
+                    break
+                if len(self.global_queue) == 0 and self.local_queues.total() == 0:
+                    break
+        finally:
+            self._scheduling = False
+            if explain is not None:
+                explain.pass_end()
 
     # ------------------------------------------------------------------
     # SchedulerOps: observations
@@ -349,12 +501,14 @@ class Scheduler:
     def _record(self, kind: DecisionKind, request: InferenceRequest, gpu_id: str | None) -> None:
         # positional Decision mint + cached bound method + direct _now
         # read: one Decision is recorded per scheduling action
-        self._record_decision(
-            Decision(
-                self.sim._now, kind, request.request_id,
-                request.model_id, gpu_id, request.visits,
-            )
+        decision = Decision(
+            self.sim._now, kind, request.request_id,
+            request.model_id, gpu_id, request.visits,
         )
+        self._record_decision(decision)
+        explain = self.explain
+        if explain is not None:
+            explain.attach(decision)
 
     def _execute(self, request: InferenceRequest, gpu: GPUDevice) -> None:
         # the "GPU address" shipped with the function's container (§III-B);

@@ -195,7 +195,8 @@ class KVStore:
             if key.startswith(eph) or (prefix and eph.startswith(key)):
                 raise EphemeralKeyError(
                     f"cannot replay history for {key!r}: it covers the "
-                    f"ephemeral tier ({eph!r} keeps no event log)"
+                    f"ephemeral tier ({eph!r} keeps no event log; "
+                    f"configured ephemeral prefixes: {self._ephemeral!r})"
                 )
 
     def keys(self) -> list[str]:
@@ -433,7 +434,8 @@ class KVStore:
         if self._ephemeral and key.startswith(self._ephemeral):
             raise EphemeralKeyError(
                 f"{key!r} is in the ephemeral tier: historical reads are "
-                "unavailable (no MVCC history is retained)"
+                "unavailable (no MVCC history is retained; configured "
+                f"ephemeral prefixes: {self._ephemeral!r})"
             )
         if revision < self._compacted:
             raise CompactedError(

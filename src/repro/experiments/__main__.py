@@ -12,6 +12,8 @@ Usage::
     python -m repro.experiments bench        # scheduler perf → BENCH_scheduler.json
     python -m repro.experiments bench-check  # gate the committed trajectory
     python -m repro.experiments profile      # cProfile the 2k §V-A replay
+    python -m repro.experiments trace        # traced 2k replay → trace.json (Perfetto)
+    python -m repro.experiments explain 42   # why request #42 was scheduled the way it was
 
 Grid targets route through the sharded sweep orchestrator
 (:mod:`repro.experiments.sweep`): ``--workers N`` fans the §V cells out
@@ -59,10 +61,26 @@ def main(argv: list[str] | None = None) -> int:
         "target",
         choices=[
             "table1", "fig4", "fig5", "fig6", "fig7", "ablations", "sweep",
-            "bench", "bench-check", "profile", "all",
+            "bench", "bench-check", "profile", "trace", "explain", "all",
         ],
     )
+    parser.add_argument(
+        "request_id", nargs="?", type=int, default=None,
+        help="1-based request ordinal for the explain target",
+    )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--requests", type=int, default=2000,
+        help="replay size for the trace/explain targets (default 2000)",
+    )
+    parser.add_argument(
+        "--trace-out", default="trace.json",
+        help="output path for the trace target's Chrome trace-event file",
+    )
+    parser.add_argument(
+        "--trace-spill", default=None, metavar="PATH",
+        help="optional JSONL spill of decimated request records (trace target)",
+    )
     parser.add_argument(
         "--bench-output", default=None, help="path for the bench JSON report"
     )
@@ -100,6 +118,41 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--minutes", type=int, default=None)
     parser.add_argument("--requests-per-minute", type=int, default=None)
     args = parser.parse_args(argv)
+
+    if args.target == "trace":
+        from .replay import replay_traced
+
+        summary, system, path = replay_traced(
+            args.requests,
+            seed=args.seed,
+            out=args.trace_out,
+            spill=args.trace_spill,
+        )
+        totals = system.tracer.totals
+        print(
+            f"traced replay: {len(system.completed)} requests, "
+            f"{totals['passes']} passes, {totals['commits']} commits, "
+            f"{totals['instants']} instants -> {path}"
+        )
+        print("open in https://ui.perfetto.dev or chrome://tracing")
+        return 0
+
+    if args.target == "explain":
+        from ..obs.explain import run_explain
+
+        if args.request_id is None:
+            print(
+                "explain needs a request ordinal: "
+                "python -m repro.experiments explain 42",
+                file=sys.stderr,
+            )
+            return 2
+        print(
+            run_explain(
+                args.request_id, n_requests=args.requests, seed=args.seed
+            )
+        )
+        return 0
 
     if args.target == "bench":
         from .bench import run_bench

@@ -52,6 +52,18 @@ commit µs, history entries and event-log records per action, and the
 tier's on/off commit-cost ratio at each size — the "commit-path residue"
 trajectory.
 
+The ``observability`` section replays the 2k §V-A workload with the
+flight recorder (``SystemConfig(tracer="flight")``) off and on —
+interleaved pairs inside one child, each run on a freshly built
+workload, ratio taken as **sum(on) / sum(off)** across the pairs (the
+ratio-of-sums estimator: per-pair ratios at this run length are noise-
+dominated, while summing first lets drift and scheduling jitter, which
+hit both interleaved arms alike, divide out) — validates the exported
+Chrome trace against the trace-event schema, and SHA-compares both
+arms' rank-normalized decision logs from dedicated untimed runs:
+tracing may cost at most 5% and must change nothing but the wall
+clock (see ``docs/observability.md``).
+
 The ``calibration`` section times a fixed pure-Python spin (best of 3,
 fresh subprocess) on the recording machine.  Every wall-clock gate in
 ``check_bench`` is a *ratio* against this same-report number, so the
@@ -97,6 +109,7 @@ __all__ = [
     "measure_commit_path",
     "measure_end_to_end",
     "measure_fault_replay",
+    "measure_observability",
     "measure_pass_elision",
     "measure_streaming_replay",
     "measure_sweep_scaling",
@@ -778,6 +791,116 @@ def measure_streaming_replay(root: Path | None = None) -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# Observability (flight-recorder) overhead
+# ----------------------------------------------------------------------
+#: interleaved off/on replay pairs per observability child
+_OBS_GATE_REPS = 12
+
+# child-process body: ``reps`` interleaved §V-A replay pairs with the
+# flight recorder off and on.  Both arms run inside ONE child on
+# freshly built workloads (reusing one workload's request objects
+# across runs lets lifecycle state leak between arms — and the flight
+# recorder's request ring holds *references*, so the exported trace
+# must come from a run whose requests were never resubmitted).  The
+# gated ratio is **sum(on) / sum(off)**: per-pair ratios at ~0.15 s
+# run length are noise-dominated on shared machines, while the sums
+# of interleaved arms see the same drift and divide it out (an A/A
+# control of this estimator reads 1.00 within half a percent where
+# per-pair medians wander by several).  Trace export/validation and
+# the rank-normalized decision-log SHA comparison (request ids are
+# process-global) run on dedicated untimed runs at the end — the
+# report carries the proof that tracing changes nothing but the wall
+# clock.
+_OBS_CHILD_CODE = """
+import gc, hashlib, json, sys, time
+n = int(sys.argv[1]); reps = int(sys.argv[2])
+from repro.traces.azure import SyntheticAzureTrace
+from repro.traces.workload import WorkloadSpec, build_workload
+from repro.runtime import FaaSCluster, SystemConfig
+from repro.obs.export import chrome_trace_events, validate_chrome_trace
+minutes = max(1, round(n / 325))
+spec = WorkloadSpec(working_set=15, minutes=minutes)
+def fresh():
+    return build_workload(spec, trace=SyntheticAzureTrace())
+configs = {"off": SystemConfig(), "on": SystemConfig(tracer="flight")}
+def one(arm, workload):
+    system = FaaSCluster(configs[arm])
+    gc.collect()
+    t0 = time.perf_counter()
+    system.submit_workload(workload)
+    system.run()
+    return time.perf_counter() - t0, system
+n_requests = len(fresh())
+for arm in ("off", "on"):  # warm caches/allocator before timing
+    one(arm, fresh())
+run_s = {"on": 0.0, "off": 0.0}
+for rep in range(reps):
+    order = ("on", "off") if rep % 2 else ("off", "on")
+    for arm in order:
+        dt, _ = one(arm, fresh())
+        run_s[arm] += dt
+def decision_sha(system):
+    decisions = system.scheduler.decisions
+    ids = sorted({d.request_id for d in decisions})
+    rank = {rid: i for i, rid in enumerate(ids)}
+    h = hashlib.sha256()
+    for d in decisions:
+        h.update(repr((d.time_s, d.kind.value, rank[d.request_id],
+                       d.model_id, d.gpu_id, d.visits)).encode())
+    return h.hexdigest()
+_, system_off = one("off", fresh())
+_, system_on = one("on", fresh())
+recorder = system_on.tracer
+events = chrome_trace_events(recorder)
+errors = validate_chrome_trace({"traceEvents": events})
+print(json.dumps({
+    "requests": n_requests, "reps": reps,
+    "run_s_off": round(run_s["off"] / reps, 4),
+    "run_s_on": round(run_s["on"] / reps, 4),
+    "requests_per_sec_off": round(n_requests * reps / run_s["off"], 1),
+    "tracer_on_vs_off": round(run_s["on"] / run_s["off"], 3),
+    "span_stride": configs["on"].trace_span_stride,
+    "trace_events": len(events),
+    "trace_valid": not errors,
+    "trace_validation_errors": errors[:5],
+    "trace_records": recorder.totals,
+    "trace_dropped": sum(recorder.dropped.values()),
+    "decisions_identical":
+        decision_sha(system_off) == decision_sha(system_on),
+}))
+"""
+
+
+def measure_observability(root: Path | None = None) -> dict:
+    """§V-A 2k replays with the flight recorder off vs on.
+
+    The tracer-on cost is the observability tentpole's budget: the
+    recorded ``tracer_on_vs_off`` (ratio of summed interleaved arms,
+    best-of-2 children keyed on total measured time) is gated at
+    ≤ :data:`_MAX_TRACER_ON_VS_OFF` by ``check_bench``, the off arm's
+    throughput holds the same calibration-relative floor as the e2e 2k
+    replay (tracer *off* must cost nothing — it is one ``None`` test per
+    hook), the exported trace must validate against the Chrome
+    trace-event schema, and both arms' rank-normalized decision logs
+    must hash identically.
+    """
+    root = root or _repo_root()
+    point = _run_child(
+        root, _OBS_CHILD_CODE, 2000, _OBS_GATE_REPS, label="observability replay"
+    )
+    again = _run_child(
+        root, _OBS_CHILD_CODE, 2000, _OBS_GATE_REPS, label="observability replay"
+    )
+    if again["run_s_on"] + again["run_s_off"] < point["run_s_on"] + point["run_s_off"]:
+        point = again
+    return {
+        "workload": "§V-A working-set-15, 325 req/min, paper testbed, "
+                    "flight recorder off vs on (interleaved pairs)",
+        **point,
+    }
+
+
 DEFAULT_OUTPUT = "BENCH_scheduler.json"
 _SUITE = Path("benchmarks") / "test_scheduler_overhead.py"
 #: end-to-end fig4 runs ride along so the trajectory also tracks whole-
@@ -856,6 +979,7 @@ def run_bench(output: str | None = None, *, verbose: bool = True) -> dict:
         "streaming_replay": measure_streaming_replay(root),
         "fault_replay": measure_fault_replay(root),
         "pass_elision": measure_pass_elision(root),
+        "observability": measure_observability(root),
         "sweep_scaling": measure_sweep_scaling(root),
         "benchmarks": dict(sorted(benchmarks.items())),
     }
@@ -914,6 +1038,14 @@ def run_bench(output: str | None = None, *, verbose: bool = True) -> dict:
                 f"{cell['per_action_us_elision_off']:6.1f} -> "
                 f"{cell['per_action_us_elision_on']:6.1f} us/action"
             )
+        obs = report["observability"]
+        print(
+            f"  observability 2k replay: {obs['run_s_off']:.4f} -> "
+            f"{obs['run_s_on']:.4f} s ({obs['tracer_on_vs_off']}x on/off, "
+            f"median of {obs['reps']} pairs); {obs['trace_events']} trace "
+            f"events, valid: {obs['trace_valid']}, decisions identical: "
+            f"{obs['decisions_identical']}"
+        )
         sweep = report["sweep_scaling"]
         for n, cell in sweep["workers"].items():
             print(
@@ -941,12 +1073,17 @@ _PROFILE_BUCKETS = (
     ("repro/core/scheduler", "scheduling pass"),
     ("repro/core/policies", "scheduling pass"),
     ("repro/core/queues", "scheduling pass"),
-    ("repro/core/signals", "scheduling pass"),
+    # guard evaluation gets its own bucket (ROADMAP: "guard evaluation
+    # under bursty dirty signals") — signals.py is exactly the PassGuard /
+    # dirty-signal machinery, so its exclusive time answers that question
+    # directly instead of vanishing into the generic pass bucket
+    ("repro/core/signals", "policy guards (dirty signals)"),
     ("repro/core/estimator", "scheduling pass"),
     ("repro/core/tenancy", "scheduling pass"),
     ("repro/core/cache_manager", "cache manager"),
     ("repro/core/replacement", "cache manager"),
     ("repro/metrics/", "metrics"),
+    ("repro/obs/", "observability (tracer)"),
     ("repro/sim/", "sim kernel"),
 )
 
@@ -1061,6 +1198,17 @@ _MAX_ELISION_ON_VS_OFF_100K = 1.10
 #: the ISSUE's ≥20% commit-cost reduction, measured on the flush itself
 _MAX_COMMIT_ON_VS_OFF_2K = 0.80
 
+# -- observability (flight recorder) gates ------------------------------
+#: 2k replay with the flight recorder on may cost at most this factor of
+#: the tracer-off replay (median of interleaved pairs, best-of-2
+#: children) — the tracing layer's whole-run budget.  The measured hook
+#: cost is ~1.5 µs/request (~2%); the margin absorbs pair-ratio jitter.
+_MAX_TRACER_ON_VS_OFF = 1.05
+#: tracer-off throughput floor, in requests per spin — same floor as the
+#: e2e 2k replay: an uninstalled tracer is one None test per hook and
+#: must not shift the baseline
+_MIN_OBS_OFF_REQ_PER_SPIN = 2400.0
+
 
 def check_bench(path: str | None = None) -> list[str]:
     """Validate a committed ``BENCH_scheduler.json`` against the ROADMAP
@@ -1083,6 +1231,11 @@ def check_bench(path: str | None = None) -> list[str]:
     * the streaming tier must prove flat memory (1M peak RSS ≤ 1.5× the
       100k point) without giving back throughput (100k streaming vs batch
       in the same report, floor ``_MIN_STREAMING_VS_BATCH_RPS``);
+    * the flight recorder must stay within its budget: tracer-on 2k
+      replay ≤ 1.05× tracer-off (median of interleaved pairs), the
+      exported trace must validate, both arms' decision logs must hash
+      identically, and the tracer-off arm must hold the e2e throughput
+      floor (an uninstalled tracer is one ``None`` test per hook);
     * the sweep orchestrator's merged figure payload must be byte-identical
       across worker counts, and resuming a completed sweep must be served
       entirely from the result store in under a second;
@@ -1251,6 +1404,39 @@ def check_bench(path: str | None = None) -> list[str]:
                 f"{spin_s} s spin = {round(none_rps * spin_s, 1)} req/spin "
                 f"(floor {_MIN_FAULT_NONE_REQ_PER_SPIN}: chaos hooks must "
                 "cost nothing when disarmed)"
+            )
+    obs = report.get("observability")
+    if not obs:
+        problems.append("observability section missing")
+    else:
+        ratio = obs.get("tracer_on_vs_off")
+        if ratio is None:
+            problems.append("observability.tracer_on_vs_off missing")
+        elif ratio > _MAX_TRACER_ON_VS_OFF:
+            problems.append(
+                f"2k replay with the flight recorder on costs {ratio}× the "
+                f"tracer-off replay (gate ≤ {_MAX_TRACER_ON_VS_OFF}: tracing "
+                "must stay within its ≤5% budget)"
+            )
+        if not obs.get("trace_valid"):
+            problems.append(
+                "traced 2k replay produced an invalid Chrome trace "
+                f"({obs.get('trace_validation_errors')})"
+            )
+        if not obs.get("decisions_identical"):
+            problems.append(
+                "tracer-on and tracer-off replays produced different "
+                "decision logs (tracing must not change scheduling)"
+            )
+        off_rps = obs.get("requests_per_sec_off")
+        if off_rps is None:
+            problems.append("observability.requests_per_sec_off missing")
+        elif spin_s and off_rps * spin_s < _MIN_OBS_OFF_REQ_PER_SPIN:
+            problems.append(
+                f"tracer-off 2k replay throughput {off_rps} req/s × "
+                f"{spin_s} s spin = {round(off_rps * spin_s, 1)} req/spin "
+                f"(floor {_MIN_OBS_OFF_REQ_PER_SPIN}: the uninstalled tracer "
+                "must cost nothing)"
             )
     sweep = report.get("sweep_scaling")
     if not sweep:

@@ -34,7 +34,12 @@ from ..traces.workload import (
     build_workload_streaming,
 )
 
-__all__ = ["GatewayReplay", "replay_through_gateway", "replay_streaming"]
+__all__ = [
+    "GatewayReplay",
+    "replay_through_gateway",
+    "replay_streaming",
+    "replay_traced",
+]
 
 
 @dataclass
@@ -161,3 +166,50 @@ def replay_streaming(
     )
     system.metrics.close_spill()
     return summary, system
+
+
+def replay_traced(
+    n_requests: int = 2000,
+    *,
+    seed: int = 0,
+    config: SystemConfig | None = None,
+    out: str = "trace.json",
+    spill: str | None = None,
+) -> tuple[RunSummary, FaaSCluster, str]:
+    """Scheduler-level §V-A replay with the flight recorder on, exported
+    as a Chrome trace-event file (open ``out`` in Perfetto / chrome://tracing).
+
+    ``config`` overrides are honoured but the tracer is forced on (that is
+    the point of this entry); pass ``spill`` to tee decimated request
+    records to a JSONL file alongside the ring snapshot.
+
+    Returns ``(summary, system, trace_path)``; the drained ``system`` keeps
+    its :class:`~repro.obs.FlightRecorder` on ``system.tracer`` for
+    programmatic drill-down.
+    """
+    from dataclasses import replace
+
+    from ..obs.export import write_chrome_trace
+
+    base = config or SystemConfig()
+    cfg = replace(
+        base, tracer="flight", trace_spill_path=spill, seed=base.seed or seed
+    )
+    spec = WorkloadSpec(
+        working_set=15, minutes=max(1, round(n_requests / 325)), seed=seed
+    )
+    workload = build_workload(spec, trace=SyntheticAzureTrace())
+    system = FaaSCluster(cfg)
+    system.submit_workload(workload)
+    system.run()
+    assert system.tracer is not None
+    system.tracer.close()
+    path = write_chrome_trace(system.tracer, out)
+    summary = summarize(
+        system.metrics,
+        system.cluster,
+        policy=cfg.policy,
+        working_set=spec.working_set,
+        top_model=workload.top_model_id,
+    )
+    return summary, system, path

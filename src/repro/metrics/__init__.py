@@ -1,6 +1,7 @@
 """Metrics: per-run collection and the paper's evaluation summaries."""
 
 from .collector import ExactWindow, MetricsCollector
+from .exposition import prometheus_exposition
 from .histogram import DEFAULT_GROWTH, LogHistogram, quantile_error_bound
 from .summary import RunSummary, per_architecture_breakdown, summarize
 from .timeline import TIMELINE_FIELDS, TimelineProbe, TimelineSample, TimelineSampler
@@ -12,6 +13,7 @@ __all__ = [
     "MetricsCollector",
     "RunSummary",
     "per_architecture_breakdown",
+    "prometheus_exposition",
     "quantile_error_bound",
     "summarize",
     "TIMELINE_FIELDS",

@@ -200,6 +200,9 @@ class MetricsCollector:
         self.retries_total = 0
         self.faults_injected = 0
         self._open_faults: dict[tuple[str, str], float] = {}
+        #: optional flight recorder (installed by the runtime when tracing
+        #: is on); None keeps every hook to one identity test
+        self.tracer = None
         #: (fault kind, target, repair seconds) per healed fault
         self.repairs: list[tuple[str, str, float]] = []
         # columnar completion buffers: plain Python lists on the append
@@ -383,17 +386,23 @@ class MetricsCollector:
         self.lost_reasons[reason] = self.lost_reasons.get(reason, 0) + 1
         if request.retries:
             self.retries_total += request.retries
+        if self.tracer is not None:
+            self.tracer.lost(reason, request.request_id)
 
     def on_fault(self, kind: str, target: str = "") -> None:
         """A fault took effect (chaos injector / health watchdog)."""
         self.faults_injected += 1
         self._open_faults[(kind, target)] = self.sim.now
+        if self.tracer is not None:
+            self.tracer.fault(kind, target)
 
     def on_fault_cleared(self, kind: str, target: str = "") -> None:
         """A fault healed; closes the matching open fault for MTTR."""
         start = self._open_faults.pop((kind, target), None)
         if start is not None:
             self.repairs.append((kind, target, self.sim.now - start))
+        if self.tracer is not None:
+            self.tracer.fault_cleared(kind, target)
 
     @property
     def lost_count(self) -> int:

@@ -25,6 +25,8 @@ from ..datastore.client import Datastore
 from ..metrics.collector import MetricsCollector
 from ..models.profiler import ProfileRegistry
 from ..models.profiles import ModelInstance
+from ..obs.explain import ExplainLog
+from ..obs.tracer import FlightRecorder
 from ..sim import Simulator
 from .config import SystemConfig
 
@@ -55,6 +57,21 @@ class FaaSCluster:
             exact_cap=self.config.metrics_exact_cap,
             spill_to=self.config.metrics_spill_path,
         )
+        # ---- observability: flight recorder + explain log -------------
+        # "Off" is the attribute staying None, not a NullTracer object:
+        # every hook site in the hot path is one attribute load and one
+        # identity test, nothing else.
+        self.tracer: FlightRecorder | None = None
+        if self.config.tracer == "flight":
+            self.tracer = FlightRecorder(
+                self.sim,
+                capacity=self.config.tracer_capacity,
+                span_stride=self.config.trace_span_stride,
+                spill_path=self.config.trace_spill_path,
+                spill_keep=self.config.trace_spill_keep,
+            )
+            self.metrics.tracer = self.tracer
+            self.datastore.pending._tracer = self.tracer
         self._completion_listeners: list = []
         self.cache = CacheManager(
             self.sim,
@@ -63,6 +80,8 @@ class FaaSCluster:
             policy_factory=lambda: make_policy(self.config.replacement),
         )
         self.cache.subscribe(self.metrics.on_cache_event)
+        if self.tracer is not None:
+            self.cache.tracer = self.tracer
 
         local_queues = LocalQueues()
         self.estimator = FinishTimeEstimator(self.sim, self.registry, local_queues)
@@ -114,6 +133,19 @@ class FaaSCluster:
             deadline_s=self.config.deadline_s,
         )
         self.scheduler.on_lost = self.metrics.on_lost
+        if self.tracer is not None:
+            self.scheduler._tracer = self.tracer
+        #: structured decision causes (explain mode); None unless
+        #: ``SystemConfig(trace_decisions=True)``
+        self.explain: ExplainLog | None = None
+        if self.config.trace_decisions:
+            self.explain = ExplainLog()
+            self.scheduler.explain = self.explain
+        if self.tracer is not None or self.explain is not None:
+            # skip the per-call observed-engine dispatch: every
+            # _run_policy call on this instance goes straight to the
+            # instrumented engine (which re-checks re-entrancy itself)
+            self.scheduler._run_policy = self.scheduler._run_policy_observed
         # rebind the managers' idle callback straight onto the scheduler:
         # the _on_gpu_idle wrapper only forwarded, and the hop runs once
         # per completion
@@ -185,6 +217,25 @@ class FaaSCluster:
 
     def _on_request_complete(self, request: InferenceRequest) -> None:
         self.metrics.on_complete(request)
+        tracer = self.tracer
+        if tracer is not None:
+            if tracer._spill is None:
+                # write the request ring in place (same trade as the
+                # scheduler-pass and commit sites: the tracer here is
+                # always the runtime's FlightRecorder, and one closure
+                # call per completion is measurable at replay rates);
+                # the ring holds a borrowed reference — the request's
+                # stamps are final once complete, and fields are read
+                # at snapshot time.  The spill-configured path keeps
+                # the protocol hook, which also builds the JSONL record
+                state = tracer._r_state
+                i = state[0]
+                tracer._r_objs[i] = request
+                state[1] += 1
+                i += 1
+                state[0] = 0 if i == tracer.capacity else i
+            else:
+                tracer.request_complete(request)
         if self.tenancy is not None:
             self.tenancy.on_request_complete(request)
         if self._completion_listeners:  # skip the defensive copy when empty

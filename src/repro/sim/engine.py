@@ -164,6 +164,12 @@ class Simulator:
         """
         return self._live
 
+    def kernel_stats(self) -> dict[str, float | int]:
+        """Snapshot of the kernel's counters (the observability surface:
+        :func:`~repro.metrics.exposition.prometheus_exposition` and trace
+        tooling read this instead of poking privates)."""
+        return {"now": self._now, "processed": self._processed, "pending": self._live}
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------

@@ -113,3 +113,36 @@ class TestMerge:
     def test_merge_rejects_mismatched_geometry(self):
         with pytest.raises(ValueError):
             LogHistogram().merge(LogHistogram(growth=1.05))
+
+
+class TestEdgeCases:
+    def test_empty_histogram_rejects_every_summary(self):
+        h = LogHistogram()
+        with pytest.raises(ValueError):
+            h.mean()
+        with pytest.raises(ValueError):
+            h.variance()
+        for q in (0.0, 0.5, 1.0):
+            with pytest.raises(ValueError):
+                h.quantile(q)
+
+    def test_single_sample_answers_every_quantile_exactly(self):
+        h = LogHistogram()
+        h.record(0.0123)
+        for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+            assert h.quantile(q) == 0.0123
+        assert h.mean() == 0.0123
+        assert h.variance() == 0.0
+        assert (h.count, h.min, h.max) == (1, 0.0123, 0.0123)
+
+    def test_beyond_top_bucket_clamps_but_keeps_scalars_exact(self):
+        h = LogHistogram(lo=1e-6, hi=10.0)
+        h.record(25.0)   # past hi: clamps into the last bucket
+        h.record(1e9)    # far past hi: same bucket
+        assert h.counts[-1] == 2 and int(h.counts.sum()) == 2
+        # the clamp only coarsens quantiles; scalars stay exact
+        assert h.max == 1e9
+        assert h.sum == 25.0 + 1e9
+        assert h.quantile(1.0) == 1e9
+        # midpoint of the top bucket is clamped into the observed range
+        assert h.min <= h.quantile(0.5) <= h.max

@@ -1,0 +1,112 @@
+"""Scheduler explain mode: cause records, queries, CLI entry, parity.
+
+Explain mode (``SystemConfig(trace_decisions=True)``) annotates every
+recorded decision with a :class:`Cause` — pass context, the dirty-signal
+state that armed the pass, and the policy's candidate trail — without
+changing a single decision (asserted here against a plain replay).
+"""
+
+import hashlib
+
+from repro.obs import Cause, ExplainLog, format_request_causes, run_explain
+from repro.obs.explain import OUTSIDE_PASS
+from repro.runtime import FaaSCluster, SystemConfig
+from repro.traces.azure import SyntheticAzureTrace
+from repro.traces.workload import WorkloadSpec, build_workload
+
+
+def _replay(cfg):
+    workload = build_workload(
+        WorkloadSpec(working_set=15, minutes=1, seed=0),
+        trace=SyntheticAzureTrace(),
+    )
+    system = FaaSCluster(cfg)
+    system.submit_workload(workload)
+    system.run()
+    return system
+
+
+def _decision_sha(system):
+    decisions = system.scheduler.decisions
+    ids = sorted({d.request_id for d in decisions})
+    rank = {rid: i for i, rid in enumerate(ids)}
+    h = hashlib.sha256()
+    for d in decisions:
+        h.update(repr((d.time_s, d.kind.value, rank[d.request_id],
+                       d.model_id, d.gpu_id, d.visits)).encode())
+    return h.hexdigest()
+
+
+class TestExplainLog:
+    def test_every_decision_gets_a_cause(self):
+        system = _replay(SystemConfig(trace_decisions=True))
+        explain = system.scheduler.explain
+        assert explain is not None
+        assert len(explain) == len(system.scheduler.decisions)
+        # seq is the global decision order
+        assert [c.seq for c in explain.causes] == list(range(len(explain)))
+
+    def test_causes_carry_pass_context_and_trails(self):
+        system = _replay(SystemConfig(trace_decisions=True))
+        explain = system.scheduler.explain
+        in_pass = [c for c in explain.causes if c.pass_seq != OUTSIDE_PASS]
+        assert in_pass, "dispatch decisions happen inside passes"
+        assert all(c.armed.startswith("idle=") for c in in_pass)
+        assert any(c.trail for c in in_pass), "policies narrate their walks"
+
+    def test_for_request_returns_that_requests_chain(self):
+        system = _replay(SystemConfig(trace_decisions=True))
+        explain = system.scheduler.explain
+        rid = explain.causes[0].request_id
+        chain = explain.for_request(rid)
+        assert chain and all(c.request_id == rid for c in chain)
+        assert explain.for_request(-99) == []
+
+    def test_elided_passes_are_counted_with_signals(self):
+        system = _replay(SystemConfig(trace_decisions=True))
+        explain = system.scheduler.explain
+        assert explain.elided_count == system.scheduler.passes_elided
+        if explain.last_elided:
+            t, signals = explain.last_elided[-1]
+            assert t >= 0.0 and "queued=" in signals
+
+    def test_decisions_identical_with_explain_on(self):
+        with_explain = _replay(SystemConfig(trace_decisions=True))
+        plain = _replay(SystemConfig())
+        assert _decision_sha(with_explain) == _decision_sha(plain)
+
+    def test_explain_composes_with_tracer(self):
+        both = _replay(SystemConfig(tracer="flight", trace_decisions=True))
+        plain = _replay(SystemConfig())
+        assert both.scheduler.explain is not None
+        assert both.tracer is not None
+        assert _decision_sha(both) == _decision_sha(plain)
+
+
+class TestFormatting:
+    def test_format_names_pass_and_kind(self):
+        system = _replay(SystemConfig(trace_decisions=True))
+        explain = system.scheduler.explain
+        rid = explain.causes[0].request_id
+        text = format_request_causes(explain, rid)
+        assert text.startswith(f"request {rid}:")
+        assert "pass " in text or "outside any pass" in text
+
+    def test_format_handles_unknown_request(self):
+        log = ExplainLog()
+        assert "no decisions" in format_request_causes(log, 42)
+
+    def test_cause_is_a_plain_tuple(self):
+        cause = Cause(0, 1.0, "DISPATCH_HIT", 7, "g", 1, 3, "idle=1", ())
+        assert tuple(cause)[:4] == (0, 1.0, "DISPATCH_HIT", 7)
+
+
+class TestRunExplain:
+    def test_small_replay_explains_one_request(self):
+        text = run_explain(3, n_requests=300)
+        assert "explaining ordinal 3" in text
+        assert "decision(s)" in text
+
+    def test_out_of_range_ordinal_reports_the_range(self):
+        text = run_explain(10**9, n_requests=300)
+        assert "out of range" in text

@@ -1,0 +1,124 @@
+"""Chrome trace-event export: structure, time mapping, and validation.
+
+The exported ``trace.json`` must load in Perfetto, which means the
+structural rules of the trace-event format are the contract: ``X``
+slices need non-negative durations, async ``b``/``e`` pairs need
+``cat`` + ``id``, instants need a valid scope, and the five tracks
+(requests / scheduler / datastore / faults / cache) are separate pids.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    FlightRecorder,
+    chrome_trace_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.runtime import FaaSCluster, SystemConfig
+from repro.traces.azure import SyntheticAzureTrace
+from repro.traces.workload import WorkloadSpec, build_workload
+
+
+@pytest.fixture(scope="module")
+def traced_system():
+    workload = build_workload(
+        WorkloadSpec(working_set=15, minutes=1, seed=0),
+        trace=SyntheticAzureTrace(),
+    )
+    system = FaaSCluster(
+        SystemConfig(tracer="flight", fault_profile="recoverable")
+    )
+    system.submit_workload(workload)
+    system.run()
+    return system
+
+
+class TestEvents:
+    def test_events_validate_against_the_format(self, traced_system):
+        events = chrome_trace_events(traced_system.tracer)
+        assert validate_chrome_trace({"traceEvents": events}) == []
+
+    def test_every_required_track_is_present(self, traced_system):
+        events = chrome_trace_events(traced_system.tracer)
+        by_pid = {}
+        for ev in events:
+            if ev["ph"] != "M":
+                by_pid.setdefault(ev["pid"], []).append(ev)
+        # requests (1), scheduler (2), datastore (3), faults (4)
+        assert {1, 2, 3, 4} <= set(by_pid)
+        assert any(ev["ph"] == "X" and ev["cat"] == "infer" for ev in by_pid[1])
+        assert all(ev["ph"] == "X" for ev in by_pid[2])
+        assert all(ev["ph"] == "X" for ev in by_pid[3])
+        assert any(
+            ev["ph"] == "i" and ev["name"].startswith("fault:")
+            for ev in by_pid[4]
+        )
+
+    def test_sim_seconds_map_to_microseconds(self, traced_system):
+        recorder = traced_system.tracer
+        row = recorder.request_records()[0]
+        arrival_us = round(row[1] * 1e6, 3)
+        events = chrome_trace_events(recorder)
+        queue_begin = [
+            ev for ev in events if ev["ph"] == "b" and ev["id"] == row[0]
+        ]
+        assert queue_begin and queue_begin[0]["ts"] == arrival_us
+
+    def test_wall_slices_never_overlap_on_their_track(self, traced_system):
+        events = chrome_trace_events(traced_system.tracer)
+        for pid in (2, 3):
+            track = sorted(
+                (ev for ev in events if ev["ph"] == "X" and ev["pid"] == pid),
+                key=lambda ev: ev["ts"],
+            )
+            for a, b in zip(track, track[1:]):
+                assert a["ts"] + a["dur"] <= b["ts"] + 1e-6
+
+
+class TestWrite:
+    def test_written_file_is_a_loadable_trace(self, traced_system, tmp_path):
+        path = write_chrome_trace(traced_system.tracer, str(tmp_path / "t.json"))
+        payload = json.loads(open(path).read())
+        assert validate_chrome_trace(payload) == []
+        assert payload["otherData"]["records"] == traced_system.tracer.totals
+
+
+class TestValidator:
+    def test_rejects_non_object_top_level(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({"events": []}) != []
+
+    def test_rejects_phase_specific_violations(self):
+        bad = {"traceEvents": [
+            {"ph": "X", "pid": 1, "name": "no dur", "ts": 1.0},
+            {"ph": "b", "pid": 1, "name": "no id", "ts": 1.0, "cat": "q"},
+            {"ph": "i", "pid": 1, "name": "bad scope", "ts": 1.0, "s": "z"},
+            {"ph": "X", "pid": 1, "name": "negative", "ts": -5.0, "dur": 1.0},
+            {"ph": "?", "pid": 1, "name": "phase", "ts": 1.0},
+        ]}
+        problems = validate_chrome_trace(bad)
+        assert len(problems) == 5
+
+    def test_accepts_minimal_valid_events(self):
+        good = {"traceEvents": [
+            {"ph": "M", "pid": 1, "tid": 0, "name": "process_name",
+             "args": {"name": "x"}},
+            {"ph": "X", "pid": 1, "tid": 1, "ts": 0.0, "dur": 2.0, "name": "s"},
+            {"ph": "i", "pid": 1, "tid": 1, "ts": 1.0, "s": "p", "name": "i"},
+        ]}
+        assert validate_chrome_trace(good) == []
+
+
+class _FakeSim:
+    def __init__(self):
+        self._now = 0.0
+
+
+def test_empty_recorder_exports_only_metadata():
+    recorder = FlightRecorder(_FakeSim(), capacity=16)
+    events = chrome_trace_events(recorder)
+    assert events and all(ev["ph"] == "M" for ev in events)
+    assert validate_chrome_trace({"traceEvents": events}) == []

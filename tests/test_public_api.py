@@ -37,6 +37,7 @@ def test_subpackages_importable():
     import repro.faas
     import repro.metrics
     import repro.models
+    import repro.obs
     import repro.sim
     import repro.traces
 
